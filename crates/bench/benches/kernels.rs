@@ -1,0 +1,146 @@
+//! Criterion microbenchmarks of the solver's computational kernels: the
+//! distributed FFT, the tricubic interpolation sweep, the semi-Lagrangian
+//! transport step, the gradient evaluation, and the Gauss-Newton Hessian
+//! matvec — the building blocks whose costs the paper's complexity model
+//! (§III-C4) accounts for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use diffreg_comm::{SerialComm, Timers};
+use diffreg_core::{RegProblem, RegistrationConfig};
+use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
+use diffreg_interp::{ghosted, Kernel, ScatterPlan};
+use diffreg_optim::GaussNewtonProblem;
+use diffreg_pfft::PencilFft;
+use diffreg_transport::{SemiLagrangian, Workspace};
+
+struct Ctx {
+    grid: Grid,
+    comm: SerialComm,
+    decomp: Decomp,
+}
+
+impl Ctx {
+    fn new(n: usize) -> Self {
+        let grid = Grid::cubic(n);
+        let comm = SerialComm::new();
+        let decomp = Decomp::new(grid, 1);
+        Self { grid, comm, decomp }
+    }
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3d");
+    g.sample_size(20);
+    for n in [32usize, 64] {
+        let ctx = Ctx::new(n);
+        let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+        let timers = Timers::new();
+        let field = ScalarField::from_fn(&ctx.grid, fft.spatial_block(), |x| {
+            x[0].sin() + x[1].cos() * x[2].sin()
+        });
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| fft.forward(&field, &timers));
+        });
+        let spec = fft.forward(&field, &timers);
+        g.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| fft.inverse(&spec, &timers));
+        });
+        g.bench_with_input(BenchmarkId::new("gradient", n), &n, |b, _| {
+            b.iter(|| fft.gradient(&field, &timers));
+        });
+    }
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpolation");
+    g.sample_size(20);
+    for n in [32usize, 64] {
+        let ctx = Ctx::new(n);
+        let timers = Timers::new();
+        let decomp = ctx.decomp;
+        let block = decomp.block(0, diffreg_grid::Layout::Spatial);
+        let field = ScalarField::from_fn(&ctx.grid, block, |x| x[0].sin() * x[1].cos());
+        let ghost = ghosted(&ctx.comm, &decomp, &field);
+        // Departure-like points: every grid point shifted by a fraction of a cell.
+        let pts: Vec<[f64; 3]> = (0..block.len())
+            .map(|l| {
+                let gi = block.global_of_local(l);
+                [
+                    ctx.grid.coord(0, gi[0]) + 0.37,
+                    ctx.grid.coord(1, gi[1]) - 0.21,
+                    ctx.grid.coord(2, gi[2]) + 0.11,
+                ]
+            })
+            .collect();
+        let plan = ScatterPlan::build(&ctx.comm, &decomp, &pts, &timers);
+        for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kernel:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| plan.interpolate(&ctx.comm, &ghost, kernel, &timers));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    g.sample_size(10);
+    let n = 32;
+    let ctx = Ctx::new(n);
+    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
+    let v = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
+        [0.4 * x[1].sin(), 0.3 * x[0].cos(), 0.2 * x[2].sin()]
+    });
+    let rho0 = ScalarField::from_fn(&ctx.grid, ws.block(), |x| x[0].sin() + x[1].cos());
+    g.bench_function("semi_lagrangian_setup", |b| {
+        b.iter(|| SemiLagrangian::new(&ws, &v, 4));
+    });
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    g.bench_function("state_solve_nt4", |b| {
+        b.iter(|| sl.solve_state(&ws, &rho0));
+    });
+    let lam1 = rho0.clone();
+    g.bench_function("adjoint_solve_nt4", |b| {
+        b.iter(|| sl.solve_adjoint(&ws, &lam1));
+    });
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.sample_size(10);
+    let n = 16;
+    let ctx = Ctx::new(n);
+    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
+    let t = diffreg_imgsim::template(&ctx.grid, ws.block());
+    let v_star = diffreg_imgsim::exact_velocity(&ctx.grid, ws.block(), 0.5);
+    let sl = SemiLagrangian::new(&ws, &v_star, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let cfg = RegistrationConfig::default();
+    let mut prob = RegProblem::new(&ws, &t, &r, cfg);
+    let v = VectorField::zeros(ws.block());
+    g.bench_function("gradient_eval_16", |b| {
+        b.iter(|| prob.linearize(&v));
+    });
+    prob.linearize(&v);
+    let dir = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
+        [0.1 * x[1].sin(), 0.1 * x[0].cos(), 0.1 * x[2].sin()]
+    });
+    g.bench_function("hessian_matvec_16", |b| {
+        b.iter(|| prob.hessian_vec(&dir));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_interp, bench_transport, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 5 — the synthetic registration problem: reference ρ_R, template
+//! ρ_T, and the initial residual |ρ_R − ρ_T| (paper §IV-A1).
+//!
+//! Writes mid-axial PGM slices of the three volumes into `--out` (default
+//! `figures/`) and prints the residual statistics.
+//!
+//! Usage: `fig5 [--size 64] [--out figures]`
+
+use diffreg_bench::arg_list;
+use diffreg_comm::{SerialComm, Timers};
+use diffreg_grid::{Decomp, Grid};
+use diffreg_imgsim::{axial_slice, gather_full, write_pgm};
+use diffreg_pfft::PencilFft;
+use diffreg_transport::{SemiLagrangian, Workspace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = arg_list(&args, "--size", &[64])[0];
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "figures".into());
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+
+    let grid = Grid::cubic(size);
+    let comm = SerialComm::new();
+    let decomp = Decomp::new(grid, 1);
+    let fft = PencilFft::new(&comm, decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(&comm, &decomp, &fft, &timers);
+
+    let rho_t = diffreg_imgsim::template(&grid, ws.block());
+    let v_star = diffreg_imgsim::exact_velocity(&grid, ws.block(), 0.5);
+    let sl = SemiLagrangian::new(&ws, &v_star, 4);
+    let rho_r = sl.solve_state(&ws, &rho_t).pop().unwrap();
+
+    let mut resid = rho_r.clone();
+    resid.axpy(-1.0, &rho_t);
+    let resid_abs: Vec<f64> = resid.data().iter().map(|v| v.abs()).collect();
+
+    let full_t = gather_full(&comm, &grid, &rho_t);
+    let full_r = gather_full(&comm, &grid, &rho_r);
+    let mid = size / 2;
+    let plane_t = axial_slice(&full_t, &grid, mid);
+    let plane_r = axial_slice(&full_r, &grid, mid);
+    let plane_d: Vec<f64> = plane_t.iter().zip(&plane_r).map(|(a, b)| (a - b).abs()).collect();
+    write_pgm(format!("{out}/fig5_template.pgm"), &plane_t, grid.n[2], grid.n[1], 0.0, 1.0).unwrap();
+    write_pgm(format!("{out}/fig5_reference.pgm"), &plane_r, grid.n[2], grid.n[1], 0.0, 1.0).unwrap();
+    write_pgm(format!("{out}/fig5_residual.pgm"), &plane_d, grid.n[2], grid.n[1], 0.0, 1.0).unwrap();
+
+    let max_res = resid_abs.iter().cloned().fold(0.0, f64::max);
+    let ssd = diffreg_imgsim::ssd(&rho_r, &rho_t, &grid, &comm);
+    println!("Figure 5 data written to {out}/fig5_*.pgm (axial slice {mid})");
+    println!("  grid: {size}^3, |residual|_max = {max_res:.4}, SSD = {ssd:.6}");
+    println!("  (dark areas of fig5_residual.pgm = large pre-registration mismatch)");
+}

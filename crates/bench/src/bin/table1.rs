@@ -1,0 +1,69 @@
+//! Table I — synthetic registration scaling on "Maverick" (paper §IV-B).
+//!
+//! Prints (a) measured rows: full Gauss-Newton solves of the synthetic
+//! problem on the simulated distributed machine at scaled-down grids, and
+//! (b) modeled rows at the paper's grid/task configurations (#1-#13) via the
+//! calibrated performance model, annotated with the paper's reported
+//! time-to-solution for comparison.
+//!
+//! Usage: `table1 [--sizes 16,32] [--tasks 1,4,16] [--skip-measured]`
+
+use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_core::RegistrationConfig;
+use diffreg_optim::NewtonOptions;
+use diffreg_perfmodel::{Machine, SolveShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = arg_list(&args, "--sizes", &[16, 32]);
+    let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
+
+    if !arg_flag(&args, "--skip-measured") {
+        print_header("Table I (measured): synthetic problem, simulated distributed machine");
+        for &n in &sizes {
+            for &p in &tasks {
+                let cfg = RegistrationConfig {
+                    beta: 1e-2,
+                    newton: NewtonOptions { max_iter: 2, ..Default::default() },
+                    ..Default::default()
+                };
+                let m = measured_run([n, n, n], p, Problem::Synthetic, cfg);
+                print_row("", &m.row);
+            }
+        }
+        println!("(measured on one physical core; per-phase times are max over simulated ranks)");
+    }
+
+    print_header("Table I (modeled, Maverick @16 tasks/node): paper configurations #1-#13");
+    // (N, nodes, tasks, paper time-to-solution) from the paper's Table I.
+    let paper: [(usize, usize, usize, f64); 13] = [
+        (64, 1, 16, 1.54),
+        (64, 2, 32, 0.95),
+        (128, 1, 16, 15.2),
+        (128, 2, 32, 7.88),
+        (128, 4, 64, 4.70),
+        (128, 16, 256, 2.01),
+        (256, 2, 32, 79.9),
+        (256, 8, 128, 23.0),
+        (256, 32, 512, 7.23),
+        (256, 64, 1024, 4.72),
+        (512, 8, 128, 191.0),
+        (512, 32, 512, 60.7),
+        (512, 64, 1024, 32.9),
+    ];
+    let shape = SolveShape::paper_scaling();
+    for (n, nodes, p, t_paper) in paper {
+        let mut row = modeled_row(&Machine::MAVERICK, [n, n, n], p, &shape);
+        row.nodes = nodes;
+        print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+    }
+    println!("\nShape checks (paper §IV-B):");
+    let t32 = modeled_row(&Machine::MAVERICK, [256; 3], 32, &shape).time_to_solution;
+    let t512 = modeled_row(&Machine::MAVERICK, [256; 3], 512, &shape).time_to_solution;
+    let t1024 = modeled_row(&Machine::MAVERICK, [256; 3], 1024, &shape).time_to_solution;
+    println!(
+        "  256^3 strong-scaling efficiency 32->512: {:.0}% (paper: 67%), 32->1024: {:.0}% (paper: 50%)",
+        100.0 * diffreg_perfmodel::strong_efficiency(t32, 32, t512, 512),
+        100.0 * diffreg_perfmodel::strong_efficiency(t32, 32, t1024, 1024)
+    );
+}

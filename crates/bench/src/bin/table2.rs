@@ -1,0 +1,52 @@
+//! Table II — large-scale synthetic runs on "Stampede" (paper §IV-B,
+//! runs #14-#19: 512³ and 1024³ on 512-2048 tasks at 2 tasks/node).
+//!
+//! The paper-scale rows are modeled (Stampede machine parameters); a small
+//! measured sweep validates that the same code path runs distributed.
+//!
+//! Usage: `table2 [--sizes 16,24] [--tasks 2,8] [--skip-measured]`
+
+use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_core::RegistrationConfig;
+use diffreg_optim::NewtonOptions;
+use diffreg_perfmodel::{Machine, SolveShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = arg_list(&args, "--sizes", &[16, 24]);
+    let tasks = arg_list(&args, "--tasks", &[2, 8]);
+
+    if !arg_flag(&args, "--skip-measured") {
+        print_header("Table II (measured): synthetic problem, simulated distributed machine");
+        for &n in &sizes {
+            for &p in &tasks {
+                let cfg = RegistrationConfig {
+                    beta: 1e-2,
+                    newton: NewtonOptions { max_iter: 2, ..Default::default() },
+                    ..Default::default()
+                };
+                let m = measured_run([n, n, n], p, Problem::Synthetic, cfg);
+                print_row("", &m.row);
+            }
+        }
+    }
+
+    print_header("Table II (modeled, Stampede @2 tasks/node): paper configurations #14-#19");
+    let paper: [(usize, usize, usize, f64); 6] = [
+        (512, 256, 512, 38.4),
+        (512, 512, 1024, 20.2),
+        (512, 1024, 2048, 13.1),
+        (1024, 256, 512, 354.0),
+        (1024, 512, 1024, 169.0),
+        (1024, 1024, 2048, 85.7),
+    ];
+    let shape = SolveShape::paper_scaling();
+    for (n, nodes, p, t_paper) in paper {
+        let mut row = modeled_row(&Machine::STAMPEDE, [n, n, n], p, &shape);
+        row.nodes = nodes;
+        print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+    }
+    println!("\nShape check: the largest run (1024^3, 3.2 billion velocity unknowns, 2048 tasks)");
+    let t = modeled_row(&Machine::STAMPEDE, [1024; 3], 2048, &shape).time_to_solution;
+    println!("  modeled time-to-solution: {:.1} s (paper: 85.7 s)", t);
+}

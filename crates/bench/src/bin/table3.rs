@@ -1,0 +1,53 @@
+//! Table III — incompressible (mass-preserving) synthetic registration,
+//! 128³ strong scaling on "Maverick" at 2 tasks/node (paper runs #20-#24).
+//!
+//! Measured rows run the full solve with the Leray-projected formulation
+//! (div v = 0) on the simulated machine; modeled rows cover the paper
+//! configurations.
+//!
+//! Usage: `table3 [--size 16] [--tasks 1,4,16] [--skip-measured]`
+
+use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_core::RegistrationConfig;
+use diffreg_optim::NewtonOptions;
+use diffreg_perfmodel::{Machine, SolveShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = arg_list(&args, "--size", &[16])[0];
+    let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
+
+    if !arg_flag(&args, "--skip-measured") {
+        print_header("Table III (measured): incompressible synthetic problem (div v = 0)");
+        for &p in &tasks {
+            let cfg = RegistrationConfig {
+                beta: 1e-2,
+                incompressible: true,
+                newton: NewtonOptions { max_iter: 2, ..Default::default() },
+                ..Default::default()
+            };
+            let m = measured_run([size, size, size], p, Problem::SyntheticIncompressible, cfg);
+            print_row("", &m.row);
+        }
+        println!("(volume preservation of the measured runs is asserted in tests/incompressible.rs)");
+    }
+
+    print_header("Table III (modeled, Maverick @2 tasks/node): paper configurations #20-#24, 128^3");
+    let paper: [(usize, usize, f64); 5] =
+        [(1, 1, 148.0), (2, 4, 42.7), (4, 8, 22.5), (8, 16, 10.9), (16, 32, 5.69)];
+    // The incompressible solve adds the Leray projection (2 extra FFT
+    // sweeps per gradient/matvec): slightly more FFT work per matvec.
+    let shape = SolveShape { nt: 4, newton_iters: 2, matvecs: 6 };
+    for (nodes, p, t_paper) in paper {
+        let mut row = modeled_row(&Machine::MAVERICK, [128; 3], p, &shape);
+        row.nodes = nodes;
+        print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+    }
+    let t1 = modeled_row(&Machine::MAVERICK, [128; 3], 1, &shape).time_to_solution;
+    let t32 = modeled_row(&Machine::MAVERICK, [128; 3], 32, &shape).time_to_solution;
+    println!(
+        "\nShape check: 1 -> 32 task speedup {:.1}x (paper: {:.1}x)",
+        t1 / t32,
+        148.0 / 5.69
+    );
+}

@@ -1,0 +1,55 @@
+//! Table IV — brain-image strong scaling on "Maverick" (paper §IV-C,
+//! runs #25-#29: grid 256 x 300 x 256, β = 1e-2, two Newton iterations).
+//!
+//! Measured rows register the two-subject brain-phantom substitute (see
+//! DESIGN.md substitution #4) at a scaled-down anisotropic grid that keeps
+//! the paper's 256:300:256 aspect (the axis-1 extent exercises the
+//! mixed-radix FFT path). Modeled rows cover the paper's configurations.
+//!
+//! Usage: `table4 [--scale 8] [--tasks 1,4,16] [--skip-measured]`
+
+use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_core::RegistrationConfig;
+use diffreg_optim::NewtonOptions;
+use diffreg_perfmodel::{Machine, SolveShape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_list(&args, "--scale", &[8])[0];
+    let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
+    let n = [256 / scale, 300 / scale, 256 / scale];
+
+    if !arg_flag(&args, "--skip-measured") {
+        print_header(&format!(
+            "Table IV (measured): brain phantom pair, grid {}x{}x{} (paper grid / {scale})",
+            n[0], n[1], n[2]
+        ));
+        for &p in &tasks {
+            let cfg = RegistrationConfig {
+                beta: 1e-2,
+                newton: NewtonOptions { max_iter: 2, ..Default::default() },
+                ..Default::default()
+            };
+            let m = measured_run(n, p, Problem::Brain, cfg);
+            print_row("", &m.row);
+        }
+    }
+
+    print_header("Table IV (modeled, Maverick): paper configurations #25-#29, 256x300x256");
+    let paper: [(usize, usize, f64); 5] =
+        [(1, 1, 1340.0), (2, 4, 392.0), (8, 16, 95.4), (16, 32, 48.5), (32, 256, 12.0)];
+    // Two Newton iterations at β = 1e-2 on the brain pair: ~10 matvecs.
+    let shape = SolveShape { nt: 4, newton_iters: 2, matvecs: 10 };
+    for (nodes, p, t_paper) in paper {
+        let mut row = modeled_row(&Machine::MAVERICK, [256, 300, 256], p, &shape);
+        row.nodes = nodes;
+        print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+    }
+    let t1 = modeled_row(&Machine::MAVERICK, [256, 300, 256], 1, &shape).time_to_solution;
+    let t256 = modeled_row(&Machine::MAVERICK, [256, 300, 256], 256, &shape).time_to_solution;
+    println!(
+        "\nShape check (paper: 'two orders of magnitude from one task to 256 tasks'):\n  1 -> 256 task speedup: {:.0}x (paper: {:.0}x)",
+        t1 / t256,
+        1340.0 / 12.0
+    );
+}

@@ -1,0 +1,34 @@
+//! # diffreg-comm
+//!
+//! A simulated MPI runtime: the distributed-memory substrate of the
+//! registration solver (DESIGN.md substitution #1).
+//!
+//! The paper's solver runs as an SPMD MPI program on TACC's Maverick and
+//! Stampede clusters. This crate reproduces the message-passing semantics the
+//! solver relies on — buffered tagged point-to-point messages, barriers,
+//! broadcast/allgather/alltoallv collectives, allreduce, and communicator
+//! splits (needed for the row/column sub-communicators of the pencil
+//! decomposition) — with one OS thread per rank on shared memory.
+//!
+//! Every rank's endpoint counts its traffic ([`CommStats`]) so the benchmark
+//! harness can report communication volume and apply the paper's
+//! latency/bandwidth performance model to project cluster-scale timings.
+//!
+//! ```
+//! use diffreg_comm::{run_threaded, Comm};
+//!
+//! let sums = run_threaded(4, |comm| comm.sum_f64(comm.rank() as f64));
+//! assert_eq!(sums, vec![6.0; 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod serial;
+mod stats;
+mod threaded;
+mod traits;
+
+pub use serial::SerialComm;
+pub use stats::{CommStats, Timers};
+pub use threaded::{run_threaded, ThreadComm};
+pub use traits::{Comm, CommData, ReduceOp};

@@ -1,0 +1,121 @@
+//! The trivial single-rank communicator.
+//!
+//! Every collective is an identity operation; point-to-point messages to
+//! self are buffered in a local queue so that SPMD code written against
+//! [`Comm`] runs unchanged with one rank.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use crate::stats::CommStats;
+use crate::traits::{Comm, CommData, ReduceOp};
+
+/// A communicator with a single rank (rank 0 of size 1).
+#[derive(Debug, Default)]
+pub struct SerialComm {
+    self_queue: RefCell<VecDeque<(u64, Box<dyn Any + Send>)>>,
+}
+
+impl SerialComm {
+    /// Creates a new single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Comm for SerialComm {
+    type Sub = SerialComm;
+
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn barrier(&self) {}
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert_eq!(dst, 0, "serial communicator has a single rank");
+        self.self_queue.borrow_mut().push_back((tag, Box::new(data)));
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        assert_eq!(src, 0, "serial communicator has a single rank");
+        let mut q = self.self_queue.borrow_mut();
+        let pos = q
+            .iter()
+            .position(|(t, _)| *t == tag)
+            .expect("serial recv: no matching message queued (deadlock)");
+        let (_, boxed) = q.remove(pos).unwrap();
+        *boxed.downcast::<Vec<T>>().expect("serial recv: payload type mismatch")
+    }
+
+    fn broadcast<T: CommData + Clone>(&self, root: usize, _data: &mut Vec<T>) {
+        assert_eq!(root, 0);
+    }
+
+    fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        vec![data]
+    }
+
+    fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), 1);
+        parts
+    }
+
+    fn allreduce(&self, _vals: &mut [f64], _op: ReduceOp) {}
+
+    fn allreduce_usize(&self, _vals: &mut [usize], _op: ReduceOp) {}
+
+    fn split(&self, _color: usize, _key: usize) -> SerialComm {
+        SerialComm::new()
+    }
+
+    fn stats(&self) -> CommStats {
+        CommStats::default()
+    }
+
+    fn reset_stats(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_collectives() {
+        let c = SerialComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        c.barrier();
+        let mut v = vec![1.0, 2.0];
+        c.broadcast(0, &mut v);
+        assert_eq!(v, vec![1.0, 2.0]);
+        let g = c.allgather(vec![7u32]);
+        assert_eq!(g, vec![vec![7]]);
+        let a = c.alltoallv(vec![vec![1u8, 2]]);
+        assert_eq!(a, vec![vec![1, 2]]);
+        assert_eq!(c.sum_f64(3.5), 3.5);
+        assert_eq!(c.max_f64(3.5), 3.5);
+    }
+
+    #[test]
+    fn self_messaging() {
+        let c = SerialComm::new();
+        c.send(0, 1, vec![1i32, 2, 3]);
+        c.send(0, 2, vec![9i32]);
+        // Out-of-order tag matching must work.
+        assert_eq!(c.recv::<i32>(0, 2), vec![9]);
+        assert_eq!(c.recv::<i32>(0, 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sendrecv_self_is_identity() {
+        let c = SerialComm::new();
+        let out = c.sendrecv(0, vec![5u64, 6], 0, 3);
+        assert_eq!(out, vec![5, 6]);
+    }
+}

@@ -1,0 +1,471 @@
+//! The simulated distributed-memory backend: one OS thread per MPI rank.
+//!
+//! Substitution note (see DESIGN.md §2): the paper runs on TACC clusters via
+//! MPI. This backend reproduces the *semantics* of the MPI subset the solver
+//! needs — buffered point-to-point sends with tag matching, barriers,
+//! broadcast, allgather, alltoallv, allreduce, and communicator splits — on
+//! shared memory, with per-rank traffic counters so the benchmark harness
+//! can report communication volume and apply the paper's latency/bandwidth
+//! model.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::stats::CommStats;
+use crate::traits::{Comm, CommData, ReduceOp};
+
+type Msg = (u64, usize, Box<dyn Any + Send>);
+
+/// Out-of-order buffer entries awaiting a matching-tag receive.
+type PendingQueue = VecDeque<(u64, usize, Box<dyn Any + Send>)>;
+
+/// Reserved tag space for internal protocol messages (splits, collectives).
+const TAG_INTERNAL: u64 = 1 << 60;
+
+/// One rank's endpoint of a simulated MPI communicator.
+///
+/// Created by [`run_threaded`] (the world communicator) or [`Comm::split`].
+/// The endpoint is `Send` so it can be moved into its rank's thread, but it
+/// is not `Sync`: each rank owns its endpoint exclusively, exactly like an
+/// MPI process owns `MPI_COMM_WORLD`.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    /// Out-of-order buffer per source rank for tag matching.
+    pending: RefCell<Vec<PendingQueue>>,
+    barrier: Arc<Barrier>,
+    stats: RefCell<CommStats>,
+}
+
+impl std::fmt::Debug for ThreadComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadComm").field("rank", &self.rank).field("size", &self.size).finish()
+    }
+}
+
+/// The bundle of channel endpoints handed to one member of a new
+/// communicator.
+struct Package {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+}
+
+fn make_channel_matrix(size: usize) -> Vec<Package> {
+    // chan[src][dst]; rank i keeps Sender of chan[i][*] and Receiver of chan[*][i].
+    let mut tx: Vec<Vec<Sender<Msg>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
+    let mut rx: Vec<Vec<Option<Receiver<Msg>>>> =
+        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    for (src, row) in tx.iter_mut().enumerate() {
+        for (dst, dst_rx) in rx.iter_mut().enumerate() {
+            let (s, r) = unbounded();
+            row.push(s);
+            dst_rx[src] = Some(r);
+            let _ = dst;
+        }
+    }
+    let barrier = Arc::new(Barrier::new(size));
+    tx.into_iter()
+        .zip(rx)
+        .enumerate()
+        .map(|(rank, (senders, receivers))| Package {
+            rank,
+            size,
+            senders,
+            receivers: receivers.into_iter().map(Option::unwrap).collect(),
+            barrier: barrier.clone(),
+        })
+        .collect()
+}
+
+impl ThreadComm {
+    fn from_package(p: Package) -> Self {
+        let size = p.size;
+        Self {
+            rank: p.rank,
+            size,
+            senders: p.senders,
+            receivers: p.receivers,
+            pending: RefCell::new((0..size).map(|_| VecDeque::new()).collect()),
+            barrier: p.barrier,
+            stats: RefCell::new(CommStats::default()),
+        }
+    }
+
+    fn record_send(&self, bytes: usize) {
+        let mut s = self.stats.borrow_mut();
+        s.messages_sent += 1;
+        s.bytes_sent += bytes as u64;
+    }
+
+    fn blocking<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.stats.borrow_mut().blocked_seconds += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    fn recv_raw(&self, src: usize, tag: u64) -> Box<dyn Any + Send> {
+        assert!(src < self.size, "recv from out-of-range rank {src}");
+        {
+            let mut pend = self.pending.borrow_mut();
+            if let Some(pos) = pend[src].iter().position(|(t, _, _)| *t == tag) {
+                let (_, _, payload) = pend[src].remove(pos).unwrap();
+                return payload;
+            }
+        }
+        loop {
+            let (t, _bytes, payload) = self.blocking(|| {
+                self.receivers[src].recv().expect("peer rank hung up (thread panicked?)")
+            });
+            if t == tag {
+                return payload;
+            }
+            self.pending.borrow_mut()[src].push_back((t, _bytes, payload));
+        }
+    }
+}
+
+impl Comm for ThreadComm {
+    type Sub = ThreadComm;
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn barrier(&self) {
+        self.blocking(|| {
+            self.barrier.wait();
+        });
+    }
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.size, "send to out-of-range rank {dst}");
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if dst != self.rank {
+            self.record_send(bytes);
+        }
+        self.senders[dst].send((tag, bytes, Box::new(data))).expect("peer rank hung up");
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        let payload = self.recv_raw(src, tag);
+        *payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "recv type mismatch from rank {src} tag {tag}: expected Vec<{}>",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, TAG_INTERNAL + 1, data.clone());
+                }
+            }
+        } else {
+            *data = self.recv(root, TAG_INTERNAL + 1);
+        }
+    }
+
+    fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, TAG_INTERNAL + 2, data.clone());
+            }
+        }
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv(src, TAG_INTERNAL + 2));
+            }
+        }
+        out
+    }
+
+    fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), self.size, "alltoallv needs one part per rank");
+        let mut own: Option<Vec<T>> = None;
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(part);
+            } else {
+                self.send(dst, TAG_INTERNAL + 3, part);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(own.take().unwrap());
+            } else {
+                out.push(self.recv(src, TAG_INTERNAL + 3));
+            }
+        }
+        out
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size {
+                let part: Vec<f64> = self.recv(src, TAG_INTERNAL + 4);
+                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            for dst in 1..self.size {
+                self.send(dst, TAG_INTERNAL + 5, acc.clone());
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.send(0, TAG_INTERNAL + 4, vals.to_vec());
+            let acc: Vec<f64> = self.recv(0, TAG_INTERNAL + 5);
+            vals.copy_from_slice(&acc);
+        }
+    }
+
+    fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size {
+                let part: Vec<usize> = self.recv(src, TAG_INTERNAL + 6);
+                assert_eq!(part.len(), acc.len());
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply_usize(*a, b);
+                }
+            }
+            for dst in 1..self.size {
+                self.send(dst, TAG_INTERNAL + 7, acc.clone());
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.send(0, TAG_INTERNAL + 6, vals.to_vec());
+            let acc: Vec<usize> = self.recv(0, TAG_INTERNAL + 7);
+            vals.copy_from_slice(&acc);
+        }
+    }
+
+    fn split(&self, color: usize, key: usize) -> ThreadComm {
+        // Gather (color, key, old_rank) from everyone, compute the group
+        // deterministically, then the group leader mints the channel matrix
+        // and distributes each member's endpoints over the parent comm.
+        let infos = self.allgather(vec![(color, key, self.rank)]);
+        let mut group: Vec<(usize, usize, usize)> =
+            infos.into_iter().map(|v| v[0]).filter(|&(c, _, _)| c == color).collect();
+        group.sort_by_key(|&(_, k, r)| (k, r));
+        let my_new_rank = group.iter().position(|&(_, _, r)| r == self.rank).unwrap();
+        let leader_old_rank = group[0].2;
+        if my_new_rank == 0 {
+            let mut packages = make_channel_matrix(group.len());
+            // Hand out packages to the other members in reverse so that
+            // `pop` yields the highest new rank first.
+            for (new_rank, &(_, _, old_rank)) in group.iter().enumerate().rev() {
+                let pkg = packages.pop().unwrap();
+                debug_assert_eq!(pkg.rank, new_rank);
+                if new_rank == 0 {
+                    return ThreadComm::from_package(pkg);
+                }
+                self.send(old_rank, TAG_INTERNAL + 8, vec![pkg]);
+            }
+            unreachable!("leader always returns its own package");
+        } else {
+            let mut pkgs: Vec<Package> = self.recv(leader_old_rank, TAG_INTERNAL + 8);
+            ThreadComm::from_package(pkgs.pop().unwrap())
+        }
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// Runs an SPMD closure on `p` ranks (one thread each) over a fresh world
+/// communicator, returning the per-rank results indexed by rank.
+///
+/// This is the `mpirun -np p` of the simulated machine.
+pub fn run_threaded<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let packages = make_channel_matrix(p);
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for pkg in packages {
+            handles.push(scope.spawn(move || {
+                let comm = ThreadComm::from_package(pkg);
+                f(&comm)
+            }));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_basics() {
+        let out = run_threaded(4, |c| {
+            assert_eq!(c.size(), 4);
+            c.barrier();
+            c.rank() * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0]);
+                let back: Vec<f64> = c.recv(1, 8);
+                assert_eq!(back, vec![3.0]);
+            } else {
+                let msg: Vec<f64> = c.recv(0, 7);
+                assert_eq!(msg, vec![1.0, 2.0]);
+                c.send(0, 8, vec![3.0f64]);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1u8]);
+                c.send(1, 2, vec![2u8]);
+            } else {
+                assert_eq!(c.recv::<u8>(0, 2), vec![2]);
+                assert_eq!(c.recv::<u8>(0, 1), vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_and_allgather() {
+        run_threaded(3, |c| {
+            let mut v = if c.rank() == 1 { vec![42u32, 43] } else { vec![] };
+            c.broadcast(1, &mut v);
+            assert_eq!(v, vec![42, 43]);
+            let g = c.allgather(vec![c.rank() as u32]);
+            assert_eq!(g, vec![vec![0], vec![1], vec![2]]);
+        });
+    }
+
+    #[test]
+    fn alltoallv_exchanges() {
+        run_threaded(3, |c| {
+            let parts: Vec<Vec<usize>> =
+                (0..3).map(|d| vec![c.rank() * 100 + d; c.rank() + 1]).collect();
+            let got = c.alltoallv(parts);
+            for (src, part) in got.iter().enumerate() {
+                assert_eq!(part.len(), src + 1);
+                assert!(part.iter().all(|&v| v == src * 100 + c.rank()));
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        run_threaded(4, |c| {
+            let mut v = vec![c.rank() as f64, 1.0];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            assert_eq!(v, vec![6.0, 4.0]);
+            let mut m = vec![c.rank() as f64];
+            c.allreduce(&mut m, ReduceOp::Max);
+            assert_eq!(m, vec![3.0]);
+            let mut u = vec![c.rank() + 1];
+            c.allreduce_usize(&mut u, ReduceOp::Min);
+            assert_eq!(u, vec![1]);
+        });
+    }
+
+    #[test]
+    fn split_into_rows() {
+        // 2x2 grid: color = row, key = column.
+        run_threaded(4, |c| {
+            let row = c.rank() / 2;
+            let col = c.rank() % 2;
+            let rc = c.split(row, col);
+            assert_eq!(rc.size(), 2);
+            assert_eq!(rc.rank(), col);
+            // Reduce within the row only.
+            let s = rc.sum_f64(c.rank() as f64);
+            let expect = if row == 0 { 0.0 + 1.0 } else { 2.0 + 3.0 };
+            assert_eq!(s, expect);
+        });
+    }
+
+    #[test]
+    fn nested_split() {
+        run_threaded(8, |c| {
+            let half = c.split(c.rank() / 4, c.rank() % 4);
+            let quarter = half.split(half.rank() / 2, half.rank() % 2);
+            assert_eq!(quarter.size(), 2);
+            let s = quarter.sum_f64(1.0);
+            assert_eq!(s, 2.0);
+        });
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let stats = run_threaded(2, |c| {
+            c.send(1 - c.rank(), 1, vec![0u64; 16]);
+            let _: Vec<u64> = c.recv(1 - c.rank(), 1);
+            c.stats()
+        });
+        for s in stats {
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 128);
+        }
+    }
+
+    #[test]
+    fn sendrecv_shift() {
+        run_threaded(3, |c| {
+            let right = (c.rank() + 1) % 3;
+            let left = (c.rank() + 2) % 3;
+            let got = c.sendrecv(right, vec![c.rank()], left, 9);
+            assert_eq!(got, vec![left]);
+        });
+    }
+}

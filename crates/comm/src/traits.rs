@@ -1,0 +1,130 @@
+//! The communicator abstraction shared by the serial and the simulated
+//! distributed-memory backends.
+
+use crate::stats::CommStats;
+
+/// Marker bound for payload element types.
+///
+/// Blanket-implemented for every `Send + 'static` type, so any plain-old-data
+/// element (f64, index structs, interpolation requests, ...) qualifies.
+pub trait CommData: Send + 'static {}
+impl<T: Send + 'static> CommData for T {}
+
+/// Reduction operators for `allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Applies the operator to two f64 operands.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Applies the operator to two usize operands.
+    #[inline]
+    pub fn apply_usize(self, a: usize, b: usize) -> usize {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// An MPI-communicator-like handle for one rank of an SPMD program.
+///
+/// All methods are *collective* unless stated otherwise: every rank of the
+/// communicator must call them in the same order (the usual MPI contract).
+/// Sends are buffered and never block; receives block until the matching
+/// message arrives.
+pub trait Comm: Sized {
+    /// Communicator type produced by [`Comm::split`].
+    type Sub: Comm;
+
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Blocks until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Point-to-point: buffered send of `data` to `dst` with a message `tag`.
+    /// Not collective.
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>);
+
+    /// Point-to-point: blocking receive of a message from `src` with `tag`.
+    /// Not collective.
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T>;
+
+    /// Combined exchange: sends `data` to `dst` and receives from `src`.
+    fn sendrecv<T: CommData>(&self, dst: usize, data: Vec<T>, src: usize, tag: u64) -> Vec<T> {
+        if dst == self.rank() && src == self.rank() {
+            return data;
+        }
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    /// Broadcasts `data` from `root` to every rank (overwriting it elsewhere).
+    fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>);
+
+    /// Gathers every rank's `data`; returns the per-rank contributions
+    /// indexed by source rank. Equivalent to MPI_Allgatherv.
+    fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>>;
+
+    /// Personalized all-to-all: `parts[d]` is sent to rank `d`; the return
+    /// value's entry `s` is what rank `s` sent here. Equivalent to
+    /// MPI_Alltoallv. `parts.len()` must equal `size()`.
+    fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>>;
+
+    /// Elementwise reduction of `vals` across ranks; result replicated on all.
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp);
+
+    /// Elementwise reduction of usize values across ranks.
+    fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp);
+
+    /// Splits into sub-communicators: ranks with equal `color` form one new
+    /// communicator, ordered by `key` (ties broken by old rank).
+    fn split(&self, color: usize, key: usize) -> Self::Sub;
+
+    /// Snapshot of this rank's traffic counters.
+    fn stats(&self) -> CommStats;
+
+    /// Resets this rank's traffic counters.
+    fn reset_stats(&self);
+
+    /// Convenience: global sum of a single scalar.
+    fn sum_f64(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce(&mut buf, ReduceOp::Sum);
+        buf[0]
+    }
+
+    /// Convenience: global maximum of a single scalar.
+    fn max_f64(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce(&mut buf, ReduceOp::Max);
+        buf[0]
+    }
+
+    /// Convenience: global minimum of a single scalar.
+    fn min_f64(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce(&mut buf, ReduceOp::Min);
+        buf[0]
+    }
+}

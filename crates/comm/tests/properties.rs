@@ -1,0 +1,100 @@
+//! Property-based tests of the simulated MPI runtime: collective semantics
+//! must hold for arbitrary payloads and rank counts.
+
+use diffreg_comm::{run_threaded, Comm, ReduceOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allgather_orders_by_rank(p in 1usize..6, payload in prop::collection::vec(0u64..1000, 0..8)) {
+        let payload2 = payload.clone();
+        run_threaded(p, move |comm| {
+            let mine: Vec<u64> =
+                payload2.iter().map(|v| v + comm.rank() as u64 * 10_000).collect();
+            let all = comm.allgather(mine);
+            prop_assert_eq!(all.len(), p);
+            for (src, part) in all.iter().enumerate() {
+                for (got, base) in part.iter().zip(&payload2) {
+                    prop_assert_eq!(*got, base + src as u64 * 10_000);
+                }
+            }
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(p in 1usize..6, seed in 0u64..1000) {
+        run_threaded(p, move |comm| {
+            let me = comm.rank();
+            // part sent from s to d: vector of length (s + d + seed%3) filled
+            // with s*100 + d.
+            let parts: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(me * 100 + d) as u64; me + d + (seed % 3) as usize])
+                .collect();
+            let got = comm.alltoallv(parts);
+            for (s, part) in got.iter().enumerate() {
+                prop_assert_eq!(part.len(), s + me + (seed % 3) as usize);
+                prop_assert!(part.iter().all(|&v| v == (s * 100 + me) as u64));
+            }
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn allreduce_matches_local_reduction(
+        p in 1usize..6,
+        vals in prop::collection::vec(-100.0f64..100.0, 1..6),
+    ) {
+        let vals2 = vals.clone();
+        run_threaded(p, move |comm| {
+            let mine: Vec<f64> = vals2.iter().map(|v| v + comm.rank() as f64).collect();
+            let mut sum = mine.clone();
+            comm.allreduce(&mut sum, ReduceOp::Sum);
+            let mut mx = mine.clone();
+            comm.allreduce(&mut mx, ReduceOp::Max);
+            for (i, base) in vals2.iter().enumerate() {
+                let expect_sum: f64 = (0..p).map(|r| base + r as f64).sum();
+                let expect_max = base + (p - 1) as f64;
+                prop_assert!((sum[i] - expect_sum).abs() < 1e-9);
+                prop_assert!((mx[i] - expect_max).abs() < 1e-12);
+            }
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn broadcast_replicates_root_data(p in 1usize..6, root_data in prop::collection::vec(any::<u32>(), 0..10)) {
+        let rd = root_data.clone();
+        run_threaded(p, move |comm| {
+            let root = p - 1;
+            let mut data = if comm.rank() == root { rd.clone() } else { vec![] };
+            comm.broadcast(root, &mut data);
+            prop_assert_eq!(&data, &rd);
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn split_partitions_world(p in 2usize..7, colors in prop::collection::vec(0usize..3, 6)) {
+        let colors2 = colors.clone();
+        run_threaded(p, move |comm| {
+            let my_color = colors2[comm.rank() % colors2.len()] ;
+            let sub = comm.split(my_color, comm.rank());
+            // Group size must equal the number of world ranks with my color.
+            let expect: usize =
+                (0..p).filter(|r| colors2[r % colors2.len()] == my_color).count();
+            prop_assert_eq!(sub.size(), expect);
+            // Sub-rank must be my position among same-colored world ranks.
+            let expect_rank: usize = (0..comm.rank())
+                .filter(|r| colors2[r % colors2.len()] == my_color)
+                .count();
+            prop_assert_eq!(sub.rank(), expect_rank);
+            // The sub-communicator must actually work.
+            let s = sub.sum_f64(1.0);
+            prop_assert!((s - expect as f64).abs() < 1e-12);
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+}

@@ -1,0 +1,148 @@
+//! Mixed-radix recursive Cooley-Tukey FFT for smooth sizes.
+//!
+//! The transform is computed out-of-place by a decimation-in-time recursion:
+//! a size `n = r * m` transform splits the input into `r` interleaved
+//! subsequences of length `m`, recursively transforms each, then combines
+//! them with a size-`r` DFT per output bin. All radices up to
+//! [`crate::factor::MAX_RADIX`] are supported; radices 2 and 3 use
+//! hand-written butterflies.
+
+use crate::complex::Complex64;
+use crate::factor::{factorize, MAX_RADIX};
+
+/// A plan for a mixed-radix forward FFT of one fixed smooth size.
+#[derive(Debug, Clone)]
+pub struct MixedRadixPlan {
+    n: usize,
+    factors: Vec<usize>,
+    /// `twiddles[i] = exp(-2*pi*i*I/n)`, the master twiddle table. Twiddles at
+    /// every recursion level are strided reads into this table.
+    twiddles: Vec<Complex64>,
+}
+
+impl MixedRadixPlan {
+    /// Plans a transform of length `n`. Panics if `n` has a prime factor
+    /// larger than [`MAX_RADIX`]; such sizes must go through Bluestein.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let factors = factorize(n);
+        assert!(
+            factors.iter().all(|&p| p <= MAX_RADIX),
+            "size {n} is not smooth; use the Bluestein plan"
+        );
+        let w = -std::f64::consts::TAU / n as f64;
+        let twiddles = (0..n).map(|i| Complex64::cis(w * i as f64)).collect();
+        Self { n, factors, twiddles }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length-0 transform (never true).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform, out-of-place: `out = DFT(input)`.
+    ///
+    /// `input` and `out` must both have length `n`.
+    pub fn forward(&self, input: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        self.rec(input, 1, out, self.n, 0);
+    }
+
+    /// The recursion: transform `n` elements read from `input` with the given
+    /// stride into the contiguous `out[..n]`.
+    fn rec(&self, input: &[Complex64], stride: usize, out: &mut [Complex64], n: usize, depth: usize) {
+        if n == 1 {
+            out[0] = input[0];
+            return;
+        }
+        let r = self.factors[depth];
+        let m = n / r;
+        for j in 0..r {
+            self.rec(&input[j * stride..], stride * r, &mut out[j * m..(j + 1) * m], m, depth + 1);
+        }
+        // Combine the r sub-transforms. For each k in 0..m:
+        //   z_j = w_n^{j k} * Y_j[k]
+        //   X[k + t m] = sum_j w_r^{j t} z_j
+        let tw_step = self.n / n; // stride into the master twiddle table for w_n
+        let r_step = self.n / r; // stride for w_r
+        let mut z = [Complex64::ZERO; MAX_RADIX];
+        match r {
+            2 => {
+                for k in 0..m {
+                    let a = out[k];
+                    let b = out[m + k] * self.twiddles[k * tw_step];
+                    out[k] = a + b;
+                    out[m + k] = a - b;
+                }
+            }
+            3 => {
+                // w_3 = -1/2 - i sqrt(3)/2 hard-coded butterfly.
+                const SQ3_2: f64 = 0.866_025_403_784_438_6;
+                for k in 0..m {
+                    let a = out[k];
+                    let b = out[m + k] * self.twiddles[k * tw_step];
+                    let c = out[2 * m + k] * self.twiddles[(2 * k) % n * tw_step];
+                    let s = b + c;
+                    let d = b - c;
+                    out[k] = a + s;
+                    let re = a.re - 0.5 * s.re;
+                    let im = a.im - 0.5 * s.im;
+                    out[m + k] = Complex64::new(re + SQ3_2 * d.im, im - SQ3_2 * d.re);
+                    out[2 * m + k] = Complex64::new(re - SQ3_2 * d.im, im + SQ3_2 * d.re);
+                }
+            }
+            _ => {
+                for k in 0..m {
+                    for (j, zj) in z[..r].iter_mut().enumerate() {
+                        *zj = out[j * m + k] * self.twiddles[(j * k) % n * tw_step];
+                    }
+                    for t in 0..r {
+                        let mut acc = z[0];
+                        for (j, &zj) in z[..r].iter().enumerate().skip(1) {
+                            acc = acc.mul_add(zj, self.twiddles[(j * t) % r * r_step]);
+                        }
+                        out[t * m + k] = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_forward;
+
+    fn test_size(n: usize) {
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let expect = dft_forward(&input);
+        let plan = MixedRadixPlan::new(n);
+        let mut out = vec![Complex64::ZERO; n];
+        plan.forward(&input, &mut out);
+        for (a, b) in out.iter().zip(expect.iter()) {
+            assert!((*a - *b).abs() < 1e-9 * (n as f64), "size {n}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_for_smooth_sizes() {
+        for n in [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 21, 24, 25, 27, 32, 36, 49, 64, 75, 100, 128, 169, 300] {
+            test_size(n);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_large_prime() {
+        MixedRadixPlan::new(34); // 2 * 17
+    }
+}

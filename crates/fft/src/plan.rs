@@ -1,0 +1,115 @@
+//! The user-facing 1D FFT plan, dispatching between the mixed-radix kernel
+//! and the Bluestein fallback.
+
+use crate::bluestein::BluesteinPlan;
+use crate::complex::Complex64;
+use crate::factor::is_smooth;
+use crate::mixed::MixedRadixPlan;
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Mixed(MixedRadixPlan),
+    Bluestein(BluesteinPlan),
+}
+
+/// A reusable plan for forward/inverse complex FFTs of one fixed length.
+///
+/// Plans are immutable and `Sync`; per-call scratch is passed in by the
+/// caller so that one plan can be shared across ranks/threads.
+#[derive(Debug, Clone)]
+pub struct Fft1d {
+    n: usize,
+    kind: Kind,
+}
+
+impl Fft1d {
+    /// Plans a transform of length `n > 0`. Smooth sizes (largest prime
+    /// factor <= 13) use mixed-radix Cooley-Tukey; everything else uses
+    /// Bluestein.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let kind = if is_smooth(n) {
+            Kind::Mixed(MixedRadixPlan::new(n))
+        } else {
+            Kind::Bluestein(BluesteinPlan::new(n))
+        };
+        Self { n, kind }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; plans of length zero cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Out-of-place forward transform: `out = DFT(input)` with the
+    /// `exp(-2*pi*i*j*k/n)` convention and no normalization.
+    pub fn forward_into(&self, input: &[Complex64], out: &mut [Complex64]) {
+        match &self.kind {
+            Kind::Mixed(p) => p.forward(input, out),
+            Kind::Bluestein(p) => p.forward(input, out),
+        }
+    }
+
+    /// In-place forward transform; `scratch` is resized as needed.
+    pub fn forward(&self, buf: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        assert_eq!(buf.len(), self.n);
+        scratch.clear();
+        scratch.extend_from_slice(buf);
+        self.forward_into(scratch, buf);
+    }
+
+    /// In-place inverse transform with `1/n` normalization, so that
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, buf: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        assert_eq!(buf.len(), self.n);
+        scratch.clear();
+        scratch.extend(buf.iter().map(|z| z.conj()));
+        self.forward_into(scratch, buf);
+        let s = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.conj().scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_forward;
+
+    #[test]
+    fn dispatch_matches_naive() {
+        for n in [1, 2, 3, 8, 17, 30, 97, 128, 300] {
+            let input: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+            let expect = dft_forward(&input);
+            let plan = Fft1d::new(n);
+            let mut out = vec![Complex64::ZERO; n];
+            plan.forward_into(&input, &mut out);
+            for (a, b) in out.iter().zip(expect.iter()) {
+                assert!((*a - *b).abs() < 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_in_place() {
+        for n in [4, 7, 48, 101] {
+            let orig: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new(i as f64, -(i as f64) * 0.25)).collect();
+            let mut buf = orig.clone();
+            let mut scratch = Vec::new();
+            let plan = Fft1d::new(n);
+            plan.forward(&mut buf, &mut scratch);
+            plan.inverse(&mut buf, &mut scratch);
+            for (a, b) in buf.iter().zip(orig.iter()) {
+                assert!((*a - *b).abs() < 1e-9 * n as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the FFT stack: the algebraic identities that must
+//! hold for every transform length, including primes (Bluestein) and mixed
+//! composites.
+
+use diffreg_fft::{dft_forward, Complex64, Fft1d};
+use proptest::prelude::*;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_identity(x in arb_signal(96)) {
+        let n = x.len();
+        let plan = Fft1d::new(n);
+        let mut buf = x.clone();
+        let mut scratch = Vec::new();
+        plan.forward(&mut buf, &mut scratch);
+        plan.inverse(&mut buf, &mut scratch);
+        for (a, b) in buf.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (n as f64), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_dft(x in arb_signal(48)) {
+        let n = x.len();
+        let plan = Fft1d::new(n);
+        let mut out = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut out);
+        let expect = dft_forward(&x);
+        for (a, b) in out.iter().zip(&expect) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (n as f64));
+        }
+    }
+
+    #[test]
+    fn linearity(x in arb_signal(64), alpha in -3.0f64..3.0) {
+        let n = x.len();
+        let plan = Fft1d::new(n);
+        // FFT(alpha x) == alpha FFT(x)
+        let mut fx = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut fx);
+        let scaled: Vec<Complex64> = x.iter().map(|z| z.scale(alpha)).collect();
+        let mut fsx = vec![Complex64::ZERO; n];
+        plan.forward_into(&scaled, &mut fsx);
+        for (a, b) in fsx.iter().zip(&fx) {
+            prop_assert!((*a - b.scale(alpha)).abs() < 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved(x in arb_signal(64)) {
+        let n = x.len();
+        let plan = Fft1d::new(n);
+        let mut fx = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut fx);
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = fx.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time) * n as f64);
+    }
+
+    #[test]
+    fn circular_shift_theorem(x in arb_signal(48), shift in 0usize..47) {
+        let n = x.len();
+        let shift = shift % n;
+        let plan = Fft1d::new(n);
+        let mut fx = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut fx);
+        // y[j] = x[(j - shift) mod n]  =>  Y[k] = X[k] * exp(-2πi k shift / n)
+        let y: Vec<Complex64> = (0..n).map(|j| x[(j + n - shift) % n]).collect();
+        let mut fy = vec![Complex64::ZERO; n];
+        plan.forward_into(&y, &mut fy);
+        let w = -std::f64::consts::TAU * shift as f64 / n as f64;
+        for (k, (a, b)) in fy.iter().zip(&fx).enumerate() {
+            let phase = Complex64::cis(w * k as f64);
+            prop_assert!((*a - *b * phase).abs() < 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum(re in prop::collection::vec(-1.0f64..1.0, 2..64)) {
+        let n = re.len();
+        let x: Vec<Complex64> = re.iter().map(|&r| Complex64::from_real(r)).collect();
+        let plan = Fft1d::new(n);
+        let mut fx = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut fx);
+        for k in 1..n {
+            let conj = fx[n - k].conj();
+            prop_assert!((fx[k] - conj).abs() < 1e-8 * n as f64, "bin {k}");
+        }
+    }
+}

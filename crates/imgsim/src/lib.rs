@@ -1,0 +1,24 @@
+//! # diffreg-imgsim
+//!
+//! Synthetic registration problems for the experiments (paper §IV-A1):
+//! the analytic sin² phantom with known exact velocity (Fig. 5 / Tables
+//! I-III), a multi-subject brain-phantom substitute for the NIREP data
+//! (Fig. 6/7, Tables IV-V — see DESIGN.md substitution #4), similarity
+//! metrics, and minimal image IO for the figure binaries.
+
+#![warn(missing_docs)]
+
+mod brain;
+mod io;
+mod metrics;
+mod padding;
+mod synthetic;
+
+pub use brain::{two_subject_pair, BrainSubject};
+pub use io::{axial_slice, read_raw_volume, write_pgm, write_raw_volume};
+pub use metrics::{correlation, max_abs_diff, relative_residual, ssd};
+pub use padding::{crop_padded, embed_padded, PaddedImage};
+pub use synthetic::{
+    exact_velocity, exact_velocity_divfree, gather_full, template, template_fn, velocity_divfree_fn,
+    velocity_fn,
+};

@@ -1,0 +1,289 @@
+//! The distributed interpolation plan (paper Algorithm 1 and the
+//! "interpolation planner" of §III-C2).
+//!
+//! Departure points computed by the semi-Lagrangian scheme can land in any
+//! rank's subdomain. Building a [`ScatterPlan`] performs the *scatter phase*
+//! once per velocity field: each point is routed to the rank that owns its
+//! base grid cell (one alltoallv of coordinates). Evaluating the plan then
+//! costs one alltoallv of values per field per time step: owners interpolate
+//! the points they received against their ghosted local data and send the
+//! results back, which the requester scatters into original point order.
+
+use diffreg_comm::{Comm, Timers};
+use diffreg_grid::{exchange_ghost, Decomp, GhostField, Grid, ScalarField};
+
+use crate::kernel::{base_and_frac, Kernel, GHOST_WIDTH};
+
+/// A built communication plan for one set of departure points.
+#[derive(Debug, Clone)]
+pub struct ScatterPlan {
+    grid: Grid,
+    /// Number of points this rank requested.
+    n_local: usize,
+    /// For each local point: which rank owns it.
+    owner_of: Vec<usize>,
+    /// For each local point: its slot within the batch sent to its owner.
+    slot_of: Vec<usize>,
+    /// Points this rank must interpolate, grouped by requesting rank.
+    assigned: Vec<Vec<[f64; 3]>>,
+}
+
+impl ScatterPlan {
+    /// Builds the plan (collective): routes `points` (physical coordinates,
+    /// any values — they are wrapped periodically) to their owner ranks.
+    pub fn build<C: Comm>(
+        comm: &C,
+        decomp: &Decomp,
+        points: &[[f64; 3]],
+        timers: &Timers,
+    ) -> Self {
+        let grid = decomp.grid;
+        let p = comm.size();
+        let mut owner_of = Vec::with_capacity(points.len());
+        let mut slot_of = Vec::with_capacity(points.len());
+        let mut outgoing: Vec<Vec<[f64; 3]>> = vec![Vec::new(); p];
+        for &x in points {
+            let (b0, _) = base_and_frac(x[0], grid.n[0]);
+            let (b1, _) = base_and_frac(x[1], grid.n[1]);
+            let owner = decomp.owner_spatial([b0, b1, 0]);
+            owner_of.push(owner);
+            slot_of.push(outgoing[owner].len());
+            outgoing[owner].push(x);
+        }
+        let assigned = timers.time("interp_comm", || comm.alltoallv(outgoing));
+        timers.count("interp_points_routed", points.len() as u64);
+        Self { grid, n_local: points.len(), owner_of, slot_of, assigned }
+    }
+
+    /// Number of points this rank requested.
+    pub fn len(&self) -> usize {
+        self.n_local
+    }
+
+    /// True if this rank requested no points.
+    pub fn is_empty(&self) -> bool {
+        self.n_local == 0
+    }
+
+    /// Number of points this rank will interpolate for others (and itself).
+    pub fn assigned_len(&self) -> usize {
+        self.assigned.iter().map(Vec::len).sum()
+    }
+
+    /// Global fraction of requested points that had to be routed to another
+    /// rank — the "leak" of the performance model's scatter term, and a
+    /// direct measure of how far departure points travel (CFL-dependent).
+    pub fn off_rank_fraction<C: Comm>(&self, comm: &C) -> f64 {
+        let me = comm.rank();
+        let mut counts =
+            [self.owner_of.iter().filter(|&&o| o != me).count(), self.n_local];
+        comm.allreduce_usize(&mut counts, diffreg_comm::ReduceOp::Sum);
+        if counts[1] == 0 {
+            0.0
+        } else {
+            counts[0] as f64 / counts[1] as f64
+        }
+    }
+
+    /// Interpolates several fields at the planned points with one value
+    /// exchange (values of all fields are batched per point).
+    ///
+    /// `ghosts` are the ghosted local fields; the result contains one value
+    /// vector per field, each in the original point order.
+    pub fn interpolate_many<C: Comm>(
+        &self,
+        comm: &C,
+        ghosts: &[&GhostField],
+        kernel: Kernel,
+        timers: &Timers,
+    ) -> Vec<Vec<f64>> {
+        let nf = ghosts.len();
+        assert!(nf > 0, "need at least one field");
+        // Owners evaluate; values interleaved per point: [f0, f1, ..] per point.
+        let values: Vec<Vec<f64>> = timers.time("interp_exec", || {
+            self.assigned
+                .iter()
+                .map(|pts| {
+                    let mut vals = Vec::with_capacity(pts.len() * nf);
+                    for &x in pts {
+                        for g in ghosts {
+                            vals.push(kernel.eval(g, &self.grid, x));
+                        }
+                    }
+                    vals
+                })
+                .collect()
+        });
+        timers.count("interp_points_evaluated", (self.assigned_len() * nf) as u64);
+        let returned = timers.time("interp_comm", || comm.alltoallv(values));
+        // Unscatter into original order.
+        let mut out = vec![vec![0.0; self.n_local]; nf];
+        for i in 0..self.n_local {
+            let owner = self.owner_of[i];
+            let slot = self.slot_of[i];
+            for (f, o) in out.iter_mut().enumerate() {
+                o[i] = returned[owner][slot * nf + f];
+            }
+        }
+        out
+    }
+
+    /// Interpolates a single field at the planned points.
+    pub fn interpolate<C: Comm>(
+        &self,
+        comm: &C,
+        ghost: &GhostField,
+        kernel: Kernel,
+        timers: &Timers,
+    ) -> Vec<f64> {
+        self.interpolate_many(comm, &[ghost], kernel, timers).pop().unwrap()
+    }
+}
+
+/// Convenience: ghost-exchanges `field` with the kernel's required width.
+pub fn ghosted<C: Comm>(comm: &C, decomp: &Decomp, field: &ScalarField) -> GhostField {
+    exchange_ghost(comm, decomp, field, GHOST_WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffreg_comm::{run_threaded, SerialComm};
+    use diffreg_grid::Layout;
+    use std::f64::consts::TAU;
+
+    fn probe(x: [f64; 3]) -> f64 {
+        x[0].sin() * (2.0 * x[1]).cos() + 0.3 * x[2].sin()
+    }
+
+    fn probe2(x: [f64; 3]) -> f64 {
+        (x[0] + x[2]).cos() - 0.5 * x[1].sin()
+    }
+
+    fn test_points(count: usize) -> Vec<[f64; 3]> {
+        (0..count)
+            .map(|s| {
+                [
+                    (0.61 * s as f64 + 0.3).rem_euclid(TAU),
+                    (1.17 * s as f64 - 0.8).rem_euclid(TAU),
+                    (0.29 * s as f64 + 2.0).rem_euclid(TAU),
+                ]
+            })
+            .collect()
+    }
+
+    fn serial_reference(grid: Grid, points: &[[f64; 3]], f: impl Fn([f64; 3]) -> f64) -> Vec<f64> {
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let field = ScalarField::from_fn(&grid, d.block(0, Layout::Spatial), f);
+        let ghost = ghosted(&comm, &d, &field);
+        let timers = Timers::new();
+        let plan = ScatterPlan::build(&comm, &d, points, &timers);
+        plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers)
+    }
+
+    #[test]
+    fn distributed_scatter_matches_serial() {
+        let grid = Grid::new([12, 8, 6]);
+        let points = test_points(200);
+        let reference = serial_reference(grid, &points, probe);
+        for (p1, p2) in [(2, 2), (4, 1), (1, 2), (3, 2)] {
+            let pts = points.clone();
+            let refr = reference.clone();
+            run_threaded(p1 * p2, move |comm| {
+                let d = Decomp::with_process_grid(grid, p1, p2);
+                let field =
+                    ScalarField::from_fn(&grid, d.block(comm.rank(), Layout::Spatial), probe);
+                let ghost = ghosted(comm, &d, &field);
+                let timers = Timers::new();
+                // Each rank requests a distinct chunk of the points.
+                let chunk = pts.len() / comm.size();
+                let mine = &pts[comm.rank() * chunk..(comm.rank() + 1) * chunk];
+                let plan = ScatterPlan::build(comm, &d, mine, &timers);
+                let vals = plan.interpolate(comm, &ghost, Kernel::Tricubic, &timers);
+                for (i, v) in vals.iter().enumerate() {
+                    let want = refr[comm.rank() * chunk + i];
+                    assert!((v - want).abs() < 1e-12, "p=({p1},{p2}) point {i}: {v} vs {want}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batched_multi_field_matches_single() {
+        let grid = Grid::new([8, 8, 8]);
+        let points = test_points(77);
+        run_threaded(4, move |comm| {
+            let d = Decomp::with_process_grid(grid, 2, 2);
+            let b = d.block(comm.rank(), Layout::Spatial);
+            let f1 = ScalarField::from_fn(&grid, b, probe);
+            let f2 = ScalarField::from_fn(&grid, b, probe2);
+            let g1 = ghosted(comm, &d, &f1);
+            let g2 = ghosted(comm, &d, &f2);
+            let timers = Timers::new();
+            let mine: Vec<[f64; 3]> = points
+                .iter()
+                .skip(comm.rank())
+                .step_by(comm.size())
+                .copied()
+                .collect();
+            let plan = ScatterPlan::build(comm, &d, &mine, &timers);
+            let both = plan.interpolate_many(comm, &[&g1, &g2], Kernel::Tricubic, &timers);
+            let only1 = plan.interpolate(comm, &g1, Kernel::Tricubic, &timers);
+            let only2 = plan.interpolate(comm, &g2, Kernel::Tricubic, &timers);
+            assert_eq!(both[0], only1);
+            assert_eq!(both[1], only2);
+        });
+    }
+
+    #[test]
+    fn points_far_from_home_are_routed() {
+        // Departure points deliberately on the other side of the domain —
+        // exercising CFL > 1 transport where ghost layers alone cannot help.
+        let grid = Grid::cubic(8);
+        run_threaded(4, move |comm| {
+            let d = Decomp::with_process_grid(grid, 2, 2);
+            let field = ScalarField::from_fn(&grid, d.block(comm.rank(), Layout::Spatial), probe);
+            let ghost = ghosted(comm, &d, &field);
+            let timers = Timers::new();
+            // All ranks request the same far-away points.
+            let far = vec![[0.1, 0.1, 0.1], [3.0, 3.0, 3.0], [6.0, 0.5, 5.0]];
+            let plan = ScatterPlan::build(comm, &d, &far, &timers);
+            let vals = plan.interpolate(comm, &ghost, Kernel::Tricubic, &timers);
+            for (x, v) in far.iter().zip(&vals) {
+                assert!((v - probe(*x)).abs() < 0.05, "{v} vs {}", probe(*x));
+            }
+        });
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let grid = Grid::cubic(4);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let field = ScalarField::from_fn(&grid, d.block(0, Layout::Spatial), probe);
+        let ghost = ghosted(&comm, &d, &field);
+        let timers = Timers::new();
+        let plan = ScatterPlan::build(&comm, &d, &[], &timers);
+        assert!(plan.is_empty());
+        let vals = plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        // The paper reuses one plan across all time steps of a transport
+        // solve; interpolating twice must give identical answers.
+        let grid = Grid::cubic(8);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let field = ScalarField::from_fn(&grid, d.block(0, Layout::Spatial), probe);
+        let ghost = ghosted(&comm, &d, &field);
+        let timers = Timers::new();
+        let points = test_points(31);
+        let plan = ScatterPlan::build(&comm, &d, &points, &timers);
+        let a = plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        let b = plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        assert_eq!(a, b);
+    }
+}

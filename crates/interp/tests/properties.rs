@@ -1,0 +1,125 @@
+//! Property-based tests of the interpolation kernels and the distributed
+//! scatter plan.
+
+use diffreg_comm::{SerialComm, Timers};
+use diffreg_grid::{Decomp, Grid, Layout, ScalarField};
+use diffreg_interp::{cubic_weights, ghosted, Kernel, ScatterPlan};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+proptest! {
+    #[test]
+    fn cubic_weights_partition_of_unity(t in 0.0f64..1.0) {
+        let w = cubic_weights(t);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // First moment: nodes at -1,0,1,2 reproduce linear functions.
+        let m1: f64 = -w[0] + w[1] * 0.0 + w[2] * 1.0 + w[3] * 2.0;
+        prop_assert!((m1 - t).abs() < 1e-12);
+        // Second and third moments (cubic exactness).
+        let m2: f64 = w[0] + w[2] + 4.0 * w[3];
+        prop_assert!((m2 - t * t).abs() < 1e-12);
+        let m3: f64 = -w[0] + w[2] + 8.0 * w[3];
+        prop_assert!((m3 - t * t * t).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn constant_field_is_interpolated_exactly(
+        c in -5.0f64..5.0,
+        pts in prop::collection::vec(prop::array::uniform3(-10.0f64..10.0), 1..40),
+    ) {
+        let grid = Grid::cubic(8);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let mut f = ScalarField::zeros(d.block(0, Layout::Spatial));
+        f.fill(c);
+        let ghost = ghosted(&comm, &d, &f);
+        let timers = Timers::new();
+        let plan = ScatterPlan::build(&comm, &d, &pts, &timers);
+        for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
+            let vals = plan.interpolate(&comm, &ghost, kernel, &timers);
+            for v in &vals {
+                prop_assert!((v - c).abs() < 1e-12, "{kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_points_are_reproduced(
+        seed in 0u64..1000,
+        idx in prop::collection::vec((0usize..8, 0usize..8, 0usize..8), 1..20),
+    ) {
+        let grid = Grid::cubic(8);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let block = d.block(0, Layout::Spatial);
+        let f = ScalarField::from_vec(
+            block,
+            (0..block.len()).map(|l| ((l as u64 * 2654435761 + seed) % 1000) as f64 * 0.01).collect(),
+        );
+        let ghost = ghosted(&comm, &d, &f);
+        let timers = Timers::new();
+        let pts: Vec<[f64; 3]> = idx
+            .iter()
+            .map(|&(i, j, k)| [grid.coord(0, i), grid.coord(1, j), grid.coord(2, k)])
+            .collect();
+        let plan = ScatterPlan::build(&comm, &d, &pts, &timers);
+        let vals = plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        for (&(i, j, k), v) in idx.iter().zip(&vals) {
+            let expect = f.data()[block.local_index([i, j, k])];
+            prop_assert!((v - expect).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_consistency(
+        pts in prop::collection::vec(prop::array::uniform3(0.0f64..TAU), 1..20),
+    ) {
+        // Interpolating at x and at x + 2π (any axis) must agree.
+        let grid = Grid::cubic(8);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let f = ScalarField::from_fn(&grid, d.block(0, Layout::Spatial), |x| {
+            x[0].sin() + (2.0 * x[1]).cos() * x[2].sin()
+        });
+        let ghost = ghosted(&comm, &d, &f);
+        let timers = Timers::new();
+        let wrapped: Vec<[f64; 3]> =
+            pts.iter().map(|p| [p[0] + TAU, p[1] - TAU, p[2] + 2.0 * TAU]).collect();
+        let p1 = ScatterPlan::build(&comm, &d, &pts, &timers);
+        let p2 = ScatterPlan::build(&comm, &d, &wrapped, &timers);
+        let a = p1.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        let b = p2.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn interpolant_within_data_bounds_trilinear(
+        pts in prop::collection::vec(prop::array::uniform3(0.0f64..TAU), 1..20),
+        seed in 0u64..100,
+    ) {
+        // Trilinear interpolation is a convex combination: values must stay
+        // inside the data range (tricubic may overshoot, by design).
+        let grid = Grid::cubic(6);
+        let comm = SerialComm::new();
+        let d = Decomp::new(grid, 1);
+        let block = d.block(0, Layout::Spatial);
+        let data: Vec<f64> =
+            (0..block.len()).map(|l| ((l as u64 * 97 + seed) % 7) as f64 - 3.0).collect();
+        let lo = data.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = data.iter().cloned().fold(f64::MIN, f64::max);
+        let f = ScalarField::from_vec(block, data);
+        let ghost = ghosted(&comm, &d, &f);
+        let timers = Timers::new();
+        let plan = ScatterPlan::build(&comm, &d, &pts, &timers);
+        let vals = plan.interpolate(&comm, &ghost, Kernel::Trilinear, &timers);
+        for v in &vals {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        }
+    }
+}

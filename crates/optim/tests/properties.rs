@@ -1,0 +1,114 @@
+//! Property-based tests of the Krylov/Newton machinery on random problems.
+
+use diffreg_optim::{pcg, DenseOps, PcgOptions, PcgStatus, VectorOps};
+use proptest::prelude::*;
+
+/// Builds a random SPD matrix A = Qᵀ D Q implicitly as diag + rank-1 updates:
+/// A = D + c vvᵀ with D positive diagonal (always SPD for c ≥ 0).
+fn apply_spd(diag: &[f64], c: f64, v: &[f64], x: &[f64]) -> Vec<f64> {
+    let vx: f64 = v.iter().zip(x).map(|(a, b)| a * b).sum();
+    diag.iter().zip(x).zip(v).map(|((d, xi), vi)| d * xi + c * vx * vi).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pcg_solves_random_spd_systems(
+        diag in prop::collection::vec(0.5f64..10.0, 2..20),
+        v in prop::collection::vec(-1.0f64..1.0, 20),
+        c in 0.0f64..5.0,
+        b in prop::collection::vec(-1.0f64..1.0, 20),
+    ) {
+        let n = diag.len();
+        let v = &v[..n];
+        let b = b[..n].to_vec();
+        let ops = DenseOps;
+        let (x, rep) = pcg(
+            &ops,
+            |p: &Vec<f64>| apply_spd(&diag, c, v, p),
+            |r: &Vec<f64>| r.clone(),
+            &b,
+            &PcgOptions { rtol: 1e-10, atol: 0.0, max_iter: 20 * n },
+        );
+        // Residual check: ||Ax - b|| small relative to ||b||.
+        let ax = apply_spd(&diag, c, v, &x);
+        let bnorm = ops.norm(&b);
+        let rnorm: f64 =
+            ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        prop_assert!(
+            rnorm <= 1e-7 * bnorm.max(1e-12),
+            "residual {rnorm} vs {bnorm} (status {:?}, iters {})",
+            rep.status,
+            rep.iterations
+        );
+    }
+
+    #[test]
+    fn pcg_converges_in_at_most_n_iterations(
+        diag in prop::collection::vec(0.5f64..10.0, 2..15),
+    ) {
+        // Exact-arithmetic CG terminates in <= n steps; allow slack for
+        // floating point.
+        let n = diag.len();
+        let b = vec![1.0; n];
+        let ops = DenseOps;
+        let (_, rep) = pcg(
+            &ops,
+            |p: &Vec<f64>| p.iter().zip(&diag).map(|(x, d)| x * d).collect(),
+            |r: &Vec<f64>| r.clone(),
+            &b,
+            &PcgOptions { rtol: 1e-9, atol: 0.0, max_iter: 4 * n },
+        );
+        prop_assert_eq!(rep.status, PcgStatus::Converged);
+        prop_assert!(rep.iterations <= n + 2, "{} iterations for n={n}", rep.iterations);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_in_one_step(
+        diag in prop::collection::vec(0.5f64..100.0, 2..20),
+        b in prop::collection::vec(-1.0f64..1.0, 20),
+    ) {
+        let n = diag.len();
+        let b = b[..n].to_vec();
+        prop_assume!(b.iter().any(|v| v.abs() > 1e-3));
+        let ops = DenseOps;
+        let (_, rep) = pcg(
+            &ops,
+            |p: &Vec<f64>| p.iter().zip(&diag).map(|(x, d)| x * d).collect(),
+            |r: &Vec<f64>| r.iter().zip(&diag).map(|(x, d)| x / d).collect(),
+            &b,
+            &PcgOptions { rtol: 1e-10, atol: 0.0, max_iter: 100 },
+        );
+        prop_assert!(rep.iterations <= 2, "M = A must converge immediately: {}", rep.iterations);
+    }
+
+    #[test]
+    fn pcg_monotone_energy_norm(
+        diag in prop::collection::vec(0.5f64..10.0, 3..12),
+    ) {
+        // CG minimizes the A-norm of the error over growing Krylov spaces:
+        // the objective phi(x) = 1/2 xᵀAx − bᵀx is non-increasing in the
+        // iteration count (checked by solving with increasing max_iter).
+        let n = diag.len();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let ops = DenseOps;
+        let phi = |x: &Vec<f64>| -> f64 {
+            let ax: Vec<f64> = x.iter().zip(&diag).map(|(v, d)| v * d).collect();
+            0.5 * ops.dot(x, &ax) - ops.dot(&b, x)
+        };
+        let mut last = 0.0; // phi(0)
+        for it in 1..=n {
+            let (x, _) = pcg(
+                &ops,
+                |p: &Vec<f64>| p.iter().zip(&diag).map(|(v, d)| v * d).collect(),
+                |r: &Vec<f64>| r.clone(),
+                &b,
+                &PcgOptions { rtol: 0.0, atol: 1e-300, max_iter: it },
+            );
+            let val = phi(&x);
+            prop_assert!(val <= last + 1e-9, "phi increased at iter {it}: {val} > {last}");
+            last = val;
+        }
+    }
+}

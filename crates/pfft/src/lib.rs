@@ -1,0 +1,21 @@
+//! # diffreg-pfft
+//!
+//! Distributed 3D FFT over the pencil decomposition, plus every spectral
+//! operator the registration solver needs in distributed form: derivatives,
+//! gradient, divergence, Laplacian/biharmonic (and inverses via symbols),
+//! Leray projection, regularization operator, Hessian preconditioner, and
+//! Gaussian image smoothing.
+//!
+//! This is the AccFFT substitute of DESIGN.md §2: the transform sequence and
+//! the transpose communication pattern (two alltoallv's within √p-sized
+//! groups) follow the paper's Fig. 4.
+
+#![warn(missing_docs)]
+
+mod plan;
+mod spectral_field;
+mod transpose;
+
+pub use plan::PencilFft;
+pub use spectral_field::{leray_project, SpectralField};
+pub use transpose::{fwd_mid, fwd_spec, inv_mid, inv_spec};

@@ -1,0 +1,106 @@
+//! Property-based tests of the distributed FFT against the serial oracle,
+//! over random grids, process layouts, and band-limited fields.
+
+use diffreg_comm::{run_threaded, SerialComm, Timers};
+use diffreg_grid::{Decomp, Grid, Layout, ScalarField};
+use diffreg_pfft::PencilFft;
+use diffreg_spectral::SerialSpectral;
+use proptest::prelude::*;
+
+fn field_from_seed(grid: &Grid, block: diffreg_grid::Block, seed: u64) -> ScalarField {
+    ScalarField::from_fn(grid, block, |x| {
+        let s = seed as f64 * 0.01;
+        (x[0] + s).sin() + ((2.0 + (seed % 3) as f64) * x[1]).cos() * (x[2] - s).sin() + 0.1 * s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn distributed_roundtrip_any_layout(
+        n0 in 4usize..10, n1 in 4usize..10, n2 in 4usize..10,
+        p1 in 1usize..3, p2 in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::new([n0, n1, n2]);
+        prop_assume!(p1 <= n0 && p1 <= n1 && p2 <= n1 && p2 <= n2);
+        run_threaded(p1 * p2, move |comm| {
+            let decomp = Decomp::with_process_grid(grid, p1, p2);
+            let plan = PencilFft::new(comm, decomp);
+            let field = field_from_seed(&grid, plan.spatial_block(), seed);
+            let timers = Timers::new();
+            let spec = plan.forward(&field, &timers);
+            let back = plan.inverse(&spec, &timers);
+            for (a, b) in back.data().iter().zip(field.data()) {
+                prop_assert!((a - b).abs() < 1e-9, "roundtrip broke: {a} vs {b}");
+            }
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn distributed_derivative_matches_serial(
+        axis in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::new([8, 6, 10]);
+        // Serial oracle.
+        let oracle = {
+            let d = Decomp::new(grid, 1);
+            let f = field_from_seed(&grid, d.block(0, Layout::Spatial), seed);
+            SerialSpectral::new(grid.n).derivative(f.data(), axis)
+        };
+        run_threaded(4, move |comm| {
+            let decomp = Decomp::with_process_grid(grid, 2, 2);
+            let plan = PencilFft::new(comm, decomp);
+            let field = field_from_seed(&grid, plan.spatial_block(), seed);
+            let timers = Timers::new();
+            let got = plan.derivative(&field, axis, &timers);
+            let block = plan.spatial_block();
+            for (l, v) in got.data().iter().enumerate() {
+                let gi = block.global_of_local(l);
+                let want = oracle[grid.flatten(gi)];
+                prop_assert!((v - want).abs() < 1e-9, "axis {axis} at {gi:?}");
+            }
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn parseval_holds_distributed(seed in 0u64..1000, p in 1usize..5) {
+        let grid = Grid::new([8, 8, 8]);
+        run_threaded(p, move |comm| {
+            let decomp = Decomp::new(grid, p);
+            let plan = PencilFft::new(comm, decomp);
+            let field = field_from_seed(&grid, plan.spatial_block(), seed);
+            let timers = Timers::new();
+            let spec = plan.forward(&field, &timers);
+            use diffreg_comm::Comm;
+            let e_time = comm.sum_f64(field.data().iter().map(|v| v * v).sum());
+            let e_freq =
+                comm.sum_f64(spec.data.iter().map(|z| z.norm_sqr()).sum()) / grid.total() as f64;
+            prop_assert!((e_time - e_freq).abs() < 1e-7 * (1.0 + e_time));
+            Ok(())
+        }).into_iter().collect::<Result<Vec<_>, _>>()?;
+    }
+
+    #[test]
+    fn translate_shifts_bandlimited_fields_exactly(
+        s0 in -1.0f64..1.0, s1 in -1.0f64..1.0, s2 in -1.0f64..1.0,
+    ) {
+        let grid = Grid::cubic(8);
+        let comm = SerialComm::new();
+        let plan = PencilFft::new(&comm, Decomp::new(grid, 1));
+        let timers = Timers::new();
+        let block = plan.spatial_block();
+        let f = ScalarField::from_fn(&grid, block, |x| x[0].sin() + (2.0 * x[1]).cos());
+        let shifted = plan.translate(&f, [s0, s1, s2], &timers);
+        let expect = ScalarField::from_fn(&grid, block, |x| {
+            (x[0] - s0).sin() + (2.0 * (x[1] - s1)).cos()
+        });
+        for (a, b) in shifted.data().iter().zip(expect.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

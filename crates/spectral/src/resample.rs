@@ -1,0 +1,156 @@
+//! Spectral grid transfer: restriction and prolongation between periodic
+//! grids by Fourier-coefficient truncation / zero-padding.
+//!
+//! This is the transfer operator for grid continuation (coarse-to-fine
+//! registration), which the paper lists as the standard remedy for the
+//! β-dependence of the preconditioner and for nonlinearity (§I Limitations,
+//! §III-A). Transfers are exact on band-limited fields.
+
+use diffreg_fft::Complex64;
+
+use crate::serial::SerialSpectral;
+use crate::wavenumbers::wavenumber;
+
+/// Resamples a real field from grid `from` to grid `to` (either direction).
+///
+/// Modes with `2|k| >= min(from[a], to[a])` on any axis are dropped — in
+/// particular the Nyquist modes, which keeps the result real and transfer
+/// operators symmetric (restriction is the adjoint of prolongation).
+pub fn spectral_resample(data: &[f64], from: [usize; 3], to: [usize; 3]) -> Vec<f64> {
+    assert_eq!(data.len(), from.iter().product::<usize>(), "data does not match `from` grid");
+    if from == to {
+        return data.to_vec();
+    }
+    let sp_from = SerialSpectral::new(from);
+    let sp_to = SerialSpectral::new(to);
+    let spec = sp_from.forward(data);
+    let mut out = vec![Complex64::ZERO; to.iter().product()];
+    let scale = to.iter().product::<usize>() as f64 / from.iter().product::<usize>() as f64;
+
+    let keep = |k: f64, a: usize| -> bool { 2.0 * k.abs() < from[a].min(to[a]) as f64 };
+    let to_bin = |k: f64, a: usize| -> usize {
+        if k >= 0.0 {
+            k as usize
+        } else {
+            (to[a] as i64 + k as i64) as usize
+        }
+    };
+
+    let mut l = 0;
+    for i0 in 0..from[0] {
+        let k0 = wavenumber(from[0], i0);
+        for i1 in 0..from[1] {
+            let k1 = wavenumber(from[1], i1);
+            for i2 in 0..from[2] {
+                let k2 = wavenumber(from[2], i2);
+                if keep(k0, 0) && keep(k1, 1) && keep(k2, 2) {
+                    let j = (to_bin(k0, 0) * to[1] + to_bin(k1, 1)) * to[2] + to_bin(k2, 2);
+                    out[j] = spec[l].scale(scale);
+                }
+                l += 1;
+            }
+        }
+    }
+    sp_to.inverse(out)
+}
+
+/// Halves every grid extent (floor, minimum `min_extent`), the standard
+/// coarsening step of a continuation schedule.
+pub fn coarsen_extents(n: [usize; 3], min_extent: usize) -> [usize; 3] {
+    [
+        (n[0] / 2).max(min_extent),
+        (n[1] / 2).max(min_extent),
+        (n[2] / 2).max(min_extent),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn eval(n: [usize; 3], f: impl Fn([f64; 3]) -> f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n.iter().product());
+        for i0 in 0..n[0] {
+            for i1 in 0..n[1] {
+                for i2 in 0..n[2] {
+                    out.push(f([
+                        TAU * i0 as f64 / n[0] as f64,
+                        TAU * i1 as f64 / n[1] as f64,
+                        TAU * i2 as f64 / n[2] as f64,
+                    ]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn restriction_of_bandlimited_is_exact() {
+        let f = |x: [f64; 3]| 0.5 + x[0].sin() + (2.0 * x[1]).cos() * x[2].sin();
+        let fine = eval([16, 16, 16], f);
+        let coarse = spectral_resample(&fine, [16, 16, 16], [8, 8, 8]);
+        let expect = eval([8, 8, 8], f);
+        for (a, b) in coarse.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prolongation_of_bandlimited_is_exact() {
+        let f = |x: [f64; 3]| x[0].sin() - 0.3 * (x[1] + x[2]).cos();
+        let coarse = eval([8, 8, 8], f);
+        let fine = spectral_resample(&coarse, [8, 8, 8], [16, 16, 16]);
+        let expect = eval([16, 16, 16], f);
+        for (a, b) in fine.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn prolong_then_restrict_is_identity_on_low_modes() {
+        // All modes strictly below the coarse Nyquist, so the roundtrip is
+        // the identity.
+        let f = |x: [f64; 3]| (2.0 * x[0]).sin() + x[1].cos() * (3.0 * x[2]).sin();
+        let coarse = eval([10, 10, 10], f);
+        let roundtrip = spectral_resample(
+            &spectral_resample(&coarse, [10, 10, 10], [20, 20, 20]),
+            [20, 20, 20],
+            [10, 10, 10],
+        );
+        for (a, b) in roundtrip.iter().zip(&coarse) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn anisotropic_transfer() {
+        let f = |x: [f64; 3]| x[0].sin() + x[1].cos();
+        let fine = eval([12, 10, 8], f);
+        let coarse = spectral_resample(&fine, [12, 10, 8], [6, 5, 4]);
+        let expect = eval([6, 5, 4], f);
+        for (a, b) in coarse.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn restriction_removes_high_modes_not_energy_of_low() {
+        // f = low + high; restriction must keep the low part only.
+        let low = |x: [f64; 3]| x[0].sin();
+        let f = |x: [f64; 3]| low(x) + (7.0 * x[0]).sin();
+        let fine = eval([16, 16, 16], f);
+        let coarse = spectral_resample(&fine, [16, 16, 16], [8, 8, 8]);
+        let expect = eval([8, 8, 8], low);
+        for (a, b) in coarse.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn coarsen_extents_floors_and_clamps() {
+        assert_eq!(coarsen_extents([16, 16, 16], 4), [8, 8, 8]);
+        assert_eq!(coarsen_extents([10, 6, 16], 4), [5, 4, 8]);
+        assert_eq!(coarsen_extents([4, 4, 4], 4), [4, 4, 4]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Wavenumber maps for periodic spectral discretizations.
+//!
+//! For a length-`n` axis the FFT bin `i` corresponds to the integer
+//! wavenumber `k ∈ {-n/2+1, ..., n/2}` (paper §III-B1). For odd-order
+//! derivatives the Nyquist mode (even `n`, `i = n/2`) must be zeroed to keep
+//! real fields real after the inverse transform.
+
+/// Signed wavenumber of FFT bin `i` on a length-`n` axis.
+#[inline]
+pub fn wavenumber(n: usize, i: usize) -> f64 {
+    debug_assert!(i < n);
+    if 2 * i <= n {
+        i as f64
+    } else {
+        i as f64 - n as f64
+    }
+}
+
+/// Wavenumber for odd-order (e.g. first) derivatives: like [`wavenumber`]
+/// but with the Nyquist mode mapped to zero on even-length axes.
+#[inline]
+pub fn wavenumber_deriv(n: usize, i: usize) -> f64 {
+    if n.is_multiple_of(2) && 2 * i == n {
+        0.0
+    } else {
+        wavenumber(n, i)
+    }
+}
+
+/// Squared magnitude `|k|²` of the wavenumber triple for bins `[i0,i1,i2]`
+/// on a grid with extents `n`.
+#[inline]
+pub fn k_squared(n: [usize; 3], i: [usize; 3]) -> f64 {
+    let k0 = wavenumber(n[0], i[0]);
+    let k1 = wavenumber(n[1], i[1]);
+    let k2 = wavenumber(n[2], i[2]);
+    k0 * k0 + k1 * k1 + k2 * k2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavenumbers_for_even_axis() {
+        // n = 8: bins map to 0,1,2,3,4,-3,-2,-1
+        let expect = [0.0, 1.0, 2.0, 3.0, 4.0, -3.0, -2.0, -1.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(wavenumber(8, i), e);
+        }
+        assert_eq!(wavenumber_deriv(8, 4), 0.0);
+        assert_eq!(wavenumber_deriv(8, 3), 3.0);
+    }
+
+    #[test]
+    fn wavenumbers_for_odd_axis() {
+        // n = 5: bins map to 0,1,2,-2,-1; no Nyquist special case.
+        let expect = [0.0, 1.0, 2.0, -2.0, -1.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(wavenumber(5, i), e);
+            assert_eq!(wavenumber_deriv(5, i), e);
+        }
+    }
+
+    #[test]
+    fn k_squared_is_sum_of_squares() {
+        assert_eq!(k_squared([8, 8, 8], [1, 2, 7]), 1.0 + 4.0 + 1.0);
+        assert_eq!(k_squared([4, 4, 4], [0, 0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the spectral operator identities on random
+//! band-limited fields.
+
+use diffreg_spectral::SerialSpectral;
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+/// A random band-limited real field: sum of a few low-frequency modes with
+/// random amplitudes and phases.
+fn random_field(n: [usize; 3], modes: &[(i32, i32, i32, f64, f64)]) -> Vec<f64> {
+    let mut out = vec![0.0; n[0] * n[1] * n[2]];
+    let mut l = 0;
+    for i0 in 0..n[0] {
+        for i1 in 0..n[1] {
+            for i2 in 0..n[2] {
+                let x = [
+                    TAU * i0 as f64 / n[0] as f64,
+                    TAU * i1 as f64 / n[1] as f64,
+                    TAU * i2 as f64 / n[2] as f64,
+                ];
+                for &(k0, k1, k2, amp, phase) in modes {
+                    out[l] += amp
+                        * (k0 as f64 * x[0] + k1 as f64 * x[1] + k2 as f64 * x[2] + phase).cos();
+                }
+                l += 1;
+            }
+        }
+    }
+    out
+}
+
+fn arb_modes() -> impl Strategy<Value = Vec<(i32, i32, i32, f64, f64)>> {
+    prop::collection::vec(
+        (-3i32..=3, -3i32..=3, -3i32..=3, -1.0f64..1.0, 0.0f64..TAU),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn laplacian_of_mode_sum_is_analytic(modes in arb_modes()) {
+        let n = [8usize, 8, 8];
+        let sp = SerialSpectral::new(n);
+        let f = random_field(n, &modes);
+        let lap = sp.laplacian(&f);
+        // Analytic: Δ cos(k·x + φ) = −|k|² cos(k·x + φ).
+        let mut expect = vec![0.0; f.len()];
+        let mut l = 0;
+        for i0 in 0..n[0] {
+            for i1 in 0..n[1] {
+                for i2 in 0..n[2] {
+                    let x = [
+                        TAU * i0 as f64 / 8.0,
+                        TAU * i1 as f64 / 8.0,
+                        TAU * i2 as f64 / 8.0,
+                    ];
+                    for &(k0, k1, k2, amp, phase) in &modes {
+                        let k2sum = (k0 * k0 + k1 * k1 + k2 * k2) as f64;
+                        expect[l] -= amp * k2sum
+                            * (k0 as f64 * x[0] + k1 as f64 * x[1] + k2 as f64 * x[2] + phase)
+                                .cos();
+                    }
+                    l += 1;
+                }
+            }
+        }
+        for (a, b) in lap.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gradient_is_linear(modes in arb_modes(), alpha in -2.0f64..2.0) {
+        let n = [6usize, 6, 6];
+        let sp = SerialSpectral::new(n);
+        let f = random_field(n, &modes);
+        let scaled: Vec<f64> = f.iter().map(|v| alpha * v).collect();
+        let g1 = sp.gradient(&f);
+        let g2 = sp.gradient(&scaled);
+        for a in 0..3 {
+            for (x, y) in g1[a].iter().zip(&g2[a]) {
+                prop_assert!((alpha * x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn leray_is_idempotent_and_divergence_free(
+        m0 in arb_modes(), m1 in arb_modes(), m2 in arb_modes(),
+    ) {
+        let n = [8usize, 8, 8];
+        let sp = SerialSpectral::new(n);
+        let v = [random_field(n, &m0), random_field(n, &m1), random_field(n, &m2)];
+        let p = sp.leray([&v[0], &v[1], &v[2]]);
+        let div = sp.divergence([&p[0], &p[1], &p[2]]);
+        for d in &div {
+            prop_assert!(d.abs() < 1e-8, "projection not solenoidal: {d}");
+        }
+        let pp = sp.leray([&p[0], &p[1], &p[2]]);
+        for a in 0..3 {
+            for (x, y) in p[a].iter().zip(&pp[a]) {
+                prop_assert!((x - y).abs() < 1e-8, "P not idempotent");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_laplacian_is_right_inverse_on_zero_mean(modes in arb_modes()) {
+        let n = [8usize, 8, 8];
+        // Drop the constant mode to stay in the invertible subspace.
+        let modes: Vec<_> =
+            modes.into_iter().filter(|&(a, b, c, _, _)| (a, b, c) != (0, 0, 0)).collect();
+        prop_assume!(!modes.is_empty());
+        let sp = SerialSpectral::new(n);
+        let f = random_field(n, &modes);
+        let back = sp.laplacian(&sp.inv_laplacian(&f));
+        for (a, b) in back.iter().zip(&f) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn smoothing_is_a_contraction(modes in arb_modes(), sigma in 0.1f64..2.0) {
+        let n = [8usize, 8, 8];
+        let sp = SerialSpectral::new(n);
+        let f = random_field(n, &modes);
+        let s = sp.gaussian_smooth(&f, sigma);
+        let e_f: f64 = f.iter().map(|v| v * v).sum();
+        let e_s: f64 = s.iter().map(|v| v * v).sum();
+        prop_assert!(e_s <= e_f + 1e-9, "smoothing must not add energy");
+    }
+}

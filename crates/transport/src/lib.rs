@@ -1,0 +1,22 @@
+//! # diffreg-transport
+//!
+//! Semi-Lagrangian transport for the optimal-control registration system
+//! (paper §III-B2): the unconditionally stable RK2 scheme of eqs. (6)-(7)
+//! applied to the state, adjoint, incremental state, and incremental adjoint
+//! equations, plus the deformation-map solve of eq. (1).
+//!
+//! Departure points are computed once per stationary velocity per direction
+//! and their distributed interpolation plans are reused across all solves —
+//! the paper's "interpolation planner" optimization.
+
+#![warn(missing_docs)]
+
+mod nonstationary;
+mod solvers;
+mod trajectory;
+mod workspace;
+
+pub use nonstationary::{TimeVaryingTransport, TimeVaryingVelocity};
+pub use solvers::SemiLagrangian;
+pub use trajectory::{compute_trajectory, compute_trajectory_pair, local_grid_points, Trajectory};
+pub use workspace::Workspace;

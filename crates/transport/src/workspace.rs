@@ -1,0 +1,58 @@
+//! The per-rank execution context shared by transport solvers and the
+//! registration operators.
+
+use diffreg_comm::{Comm, Timers};
+use diffreg_grid::{Block, Decomp, Grid, Layout};
+use diffreg_interp::Kernel;
+use diffreg_pfft::PencilFft;
+
+/// Borrowed bundle of everything a distributed kernel needs on one rank:
+/// the communicator, the decomposition, the FFT plan, the interpolation
+/// kernel choice, and the phase timers.
+pub struct Workspace<'a, C: Comm> {
+    /// Communicator for this rank.
+    pub comm: &'a C,
+    /// Domain decomposition (shared by all ranks).
+    pub decomp: &'a Decomp,
+    /// Distributed FFT plan.
+    pub fft: &'a PencilFft<C>,
+    /// Interpolation kernel (tricubic by default).
+    pub kernel: Kernel,
+    /// Phase timers (fft_comm / fft_exec / interp_comm / interp_exec, ...).
+    pub timers: &'a Timers,
+}
+
+impl<'a, C: Comm> Workspace<'a, C> {
+    /// Creates a workspace with the default (tricubic) kernel.
+    pub fn new(comm: &'a C, decomp: &'a Decomp, fft: &'a PencilFft<C>, timers: &'a Timers) -> Self {
+        Self { comm, decomp, fft, kernel: Kernel::Tricubic, timers }
+    }
+
+    /// The global grid.
+    pub fn grid(&self) -> Grid {
+        self.decomp.grid
+    }
+
+    /// This rank's spatial-layout block.
+    pub fn block(&self) -> Block {
+        self.decomp.block(self.comm.rank(), Layout::Spatial)
+    }
+}
+
+impl<C: Comm> Clone for Workspace<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C: Comm> Copy for Workspace<'_, C> {}
+
+impl<C: Comm> std::fmt::Debug for Workspace<'_, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("rank", &self.comm.rank())
+            .field("decomp", self.decomp)
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}

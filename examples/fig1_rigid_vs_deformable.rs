@@ -1,0 +1,72 @@
+//! Figure 1 — why deformable registration: rigid (translation) alignment
+//! removes bulk motion but a large deformation remains; the LDDR solver
+//! removes it.
+//!
+//! Builds a template, warps it with a non-rigid map plus a bulk shift,
+//! registers with (a) the translation baseline and (b) the diffeomorphic
+//! solver, and prints the three residual levels the figure shows.
+//!
+//! Run with: `cargo run --release --example fig1_rigid_vs_deformable`
+
+use diffreg::comm::SerialComm;
+use diffreg::core::{register, register_translation, RegistrationConfig};
+use diffreg::grid::{Grid, ScalarField};
+use diffreg::session::SessionParts;
+
+fn main() {
+    let n = 24;
+    let comm = SerialComm::new();
+    let parts = SessionParts::new(&comm, Grid::cubic(n));
+    let ws = parts.workspace(&comm);
+    let grid = parts.grid();
+
+    let img = |x: [f64; 3]| {
+        (x[0].sin().powi(2) + x[1].sin().powi(2) + x[2].sin().powi(2)) / 3.0
+    };
+    let rho_t = ScalarField::from_fn(&grid, ws.block(), img);
+    // Reference: bulk shift + smooth non-rigid warp of the template.
+    let rho_r = ScalarField::from_fn(&grid, ws.block(), |x| {
+        let y = [
+            x[0] - 0.4 - 0.3 * x[1].sin(),
+            x[1] - 0.2 + 0.25 * (x[0] + x[2]).cos(),
+            x[2] + 0.15 * x[0].sin(),
+        ];
+        img(y)
+    });
+
+    let initial = diffreg::imgsim::ssd(&rho_t, &rho_r, &grid, &comm);
+    println!("|rho_R - rho_T|^2 before registration:      {initial:.6}");
+
+    // (a) Rigid baseline.
+    let rigid = register_translation(&ws, &rho_t, &rho_r, 100);
+    println!(
+        "|rho_R - rho_T(y)|^2 after RIGID (shift {:?}): {:.6}  ({:.1}% of initial)",
+        rigid.shift.map(|v| (v * 100.0).round() / 100.0),
+        rigid.mismatch,
+        100.0 * rigid.mismatch / initial
+    );
+
+    // (b) Deformable (diffeomorphic) registration, warm-started from the
+    // rigidly aligned template as the paper recommends ("affine registration
+    // is used as an initialization step").
+    let cfg = RegistrationConfig::default().with_beta(1e-3);
+    let out = register(&ws, &rigid.registered, &rho_r, cfg);
+    println!(
+        "|rho_R - rho_T(y1)|^2 after DEFORMABLE:        {:.6}  ({:.1}% of initial)",
+        out.final_mismatch,
+        100.0 * out.final_mismatch / initial
+    );
+    println!(
+        "deformable map: det(grad y1) in [{:.3}, {:.3}], diffeomorphic = {}",
+        out.det_grad.min, out.det_grad.max, out.det_grad.diffeomorphic
+    );
+
+    assert!(rigid.mismatch < initial, "rigid must improve alignment");
+    assert!(
+        out.final_mismatch < 0.5 * rigid.mismatch,
+        "deformable must substantially beat rigid: {} vs {}",
+        out.final_mismatch,
+        rigid.mismatch
+    );
+    println!("\nFig. 1 reproduced: deformable registration removes the residual rigid cannot.");
+}

@@ -1,0 +1,125 @@
+//! Workspace-spanning integration tests: the full registration pipeline
+//! (images → solver → diffeomorphic map) serially and on simulated MPI
+//! ranks.
+
+use diffreg::comm::{run_threaded, Comm, SerialComm};
+use diffreg::core::{register, RegistrationConfig};
+use diffreg::grid::Grid;
+use diffreg::optim::NewtonOptions;
+use diffreg::session::SessionParts;
+use diffreg::transport::{SemiLagrangian, Workspace};
+
+fn synthetic_outcome<C: Comm>(comm: &C, n: usize, cfg: RegistrationConfig) -> (f64, f64, bool) {
+    let parts = SessionParts::new(comm, Grid::cubic(n));
+    let ws: Workspace<C> = parts.workspace(comm);
+    let t = diffreg::imgsim::template(&parts.grid(), ws.block());
+    let v = diffreg::imgsim::exact_velocity(&parts.grid(), ws.block(), 0.5);
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let out = register(&ws, &t, &r, cfg);
+    (out.relative_mismatch(), out.final_mismatch, out.det_grad.diffeomorphic)
+}
+
+#[test]
+fn synthetic_registration_end_to_end() {
+    let comm = SerialComm::new();
+    let cfg = RegistrationConfig::default().with_beta(1e-3);
+    let (rel, _, diffeo) = synthetic_outcome(&comm, 16, cfg);
+    assert!(rel < 0.3, "relative mismatch {rel}");
+    assert!(diffeo, "map must be diffeomorphic");
+}
+
+#[test]
+fn distributed_matches_serial_bitwise_tolerance() {
+    let cfg = RegistrationConfig {
+        beta: 1e-2,
+        newton: NewtonOptions { max_iter: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let serial = synthetic_outcome(&SerialComm::new(), 12, cfg);
+    for p in [2usize, 4, 6] {
+        let dist = run_threaded(p, move |comm| synthetic_outcome(comm, 12, cfg));
+        for d in &dist {
+            assert!(
+                (d.1 - serial.1).abs() <= 1e-9 * serial.1.max(1e-30),
+                "p={p}: {} vs serial {}",
+                d.1,
+                serial.1
+            );
+        }
+    }
+}
+
+#[test]
+fn anisotropic_grid_registration() {
+    // The brain experiments use 256x300x256; exercise a non-cubic,
+    // non-power-of-two grid (with a mixed-radix axis) end to end.
+    let comm = SerialComm::new();
+    let parts = SessionParts::new(&comm, Grid::new([12, 15, 8]));
+    let ws = parts.workspace(&comm);
+    let grid = parts.grid();
+    let t = diffreg::imgsim::template(&grid, ws.block());
+    let v = diffreg::imgsim::exact_velocity(&grid, ws.block(), 0.4);
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let cfg = RegistrationConfig {
+        beta: 1e-3,
+        newton: NewtonOptions { max_iter: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let out = register(&ws, &t, &r, cfg);
+    assert!(out.relative_mismatch() < 0.7, "rel {}", out.relative_mismatch());
+    assert!(out.det_grad.diffeomorphic);
+}
+
+#[test]
+fn incompressible_pipeline_preserves_volume() {
+    let comm = SerialComm::new();
+    let parts = SessionParts::new(&comm, Grid::cubic(16));
+    let ws = parts.workspace(&comm);
+    let grid = parts.grid();
+    let t = diffreg::imgsim::template(&grid, ws.block());
+    let v = diffreg::imgsim::exact_velocity_divfree(&grid, ws.block(), 0.5);
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let cfg = RegistrationConfig::default().with_beta(1e-3).with_incompressible(true);
+    let out = register(&ws, &t, &r, cfg);
+    assert!((out.det_grad.min - 1.0).abs() < 0.05, "min det {}", out.det_grad.min);
+    assert!((out.det_grad.max - 1.0).abs() < 0.05, "max det {}", out.det_grad.max);
+    let div = ws.fft.divergence(&out.velocity, ws.timers);
+    assert!(div.max_abs(&comm) < 1e-8);
+}
+
+#[test]
+fn brain_phantom_pipeline() {
+    let comm = SerialComm::new();
+    let parts = SessionParts::new(&comm, Grid::cubic(16));
+    let ws = parts.workspace(&comm);
+    let grid = parts.grid();
+    let (rho_r, rho_t) = diffreg::imgsim::two_subject_pair(&grid, ws.block());
+    let cfg = RegistrationConfig::default().with_beta(1e-3);
+    let out = register(&ws, &rho_t, &rho_r, cfg);
+    assert!(out.relative_mismatch() < 0.7, "rel {}", out.relative_mismatch());
+    assert!(out.det_grad.diffeomorphic, "det range [{}, {}]", out.det_grad.min, out.det_grad.max);
+}
+
+#[test]
+fn timers_capture_all_four_phases() {
+    let comm = SerialComm::new();
+    let parts = SessionParts::new(&comm, Grid::cubic(12));
+    let ws = parts.workspace(&comm);
+    let t = diffreg::imgsim::template(&parts.grid(), ws.block());
+    let v = diffreg::imgsim::exact_velocity(&parts.grid(), ws.block(), 0.3);
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let cfg = RegistrationConfig {
+        newton: NewtonOptions { max_iter: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let _ = register(&ws, &t, &r, cfg);
+    let timers = parts.timers();
+    assert!(timers.get("fft_exec") > 0.0);
+    assert!(timers.get("interp_exec") > 0.0);
+    assert!(timers.get("interp_comm") >= 0.0);
+    assert!(timers.get_count("fft_3d") > 0);
+}
