@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the solver's computational kernels: the
-//! distributed FFT, the tricubic interpolation sweep, the semi-Lagrangian
-//! transport step, the gradient evaluation, and the Gauss-Newton Hessian
-//! matvec — the building blocks whose costs the paper's complexity model
-//! (§III-C4) accounts for.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Microbenchmarks of the solver's computational kernels: the distributed
+//! FFT, the tricubic interpolation sweep, the semi-Lagrangian transport
+//! step, the gradient evaluation, and the Gauss-Newton Hessian matvec —
+//! the building blocks whose costs the paper's complexity model (§III-C4)
+//! accounts for.
+//!
+//! Runs under the in-tree `testkit::bench` timer (median-of-K wall clock
+//! with warmup) and prints one JSON line per benchmark, e.g.
+//! `{"bench":"fft3d/forward/32","median_s":...,"min_s":...,"samples":15}`.
+//! Invoke with `cargo bench -p diffreg-bench` (harness = false).
 
 use diffreg_comm::{SerialComm, Timers};
 use diffreg_core::{RegProblem, RegistrationConfig};
@@ -12,7 +15,12 @@ use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
 use diffreg_interp::{ghosted, Kernel, ScatterPlan};
 use diffreg_optim::GaussNewtonProblem;
 use diffreg_pfft::PencilFft;
+use diffreg_testkit::bench_named;
 use diffreg_transport::{SemiLagrangian, Workspace};
+
+/// Warmup runs and timed samples per benchmark (median over `K`).
+const WARMUP: usize = 2;
+const K: usize = 9;
 
 struct Ctx {
     grid: Grid,
@@ -29,9 +37,7 @@ impl Ctx {
     }
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft3d");
-    g.sample_size(20);
+fn bench_fft() {
     for n in [32usize, 64] {
         let ctx = Ctx::new(n);
         let fft = PencilFft::new(&ctx.comm, ctx.decomp);
@@ -39,23 +45,20 @@ fn bench_fft(c: &mut Criterion) {
         let field = ScalarField::from_fn(&ctx.grid, fft.spatial_block(), |x| {
             x[0].sin() + x[1].cos() * x[2].sin()
         });
-        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
-            b.iter(|| fft.forward(&field, &timers));
+        bench_named(&format!("fft3d/forward/{n}"), WARMUP, K, || {
+            fft.forward(&field, &timers);
         });
         let spec = fft.forward(&field, &timers);
-        g.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
-            b.iter(|| fft.inverse(&spec, &timers));
+        bench_named(&format!("fft3d/inverse/{n}"), WARMUP, K, || {
+            fft.inverse(&spec, &timers);
         });
-        g.bench_with_input(BenchmarkId::new("gradient", n), &n, |b, _| {
-            b.iter(|| fft.gradient(&field, &timers));
+        bench_named(&format!("fft3d/gradient/{n}"), WARMUP, K, || {
+            fft.gradient(&field, &timers);
         });
     }
-    g.finish();
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpolation");
-    g.sample_size(20);
+fn bench_interp() {
     for n in [32usize, 64] {
         let ctx = Ctx::new(n);
         let timers = Timers::new();
@@ -76,21 +79,14 @@ fn bench_interp(c: &mut Criterion) {
             .collect();
         let plan = ScatterPlan::build(&ctx.comm, &decomp, &pts, &timers);
         for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kernel:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| plan.interpolate(&ctx.comm, &ghost, kernel, &timers));
-                },
-            );
+            bench_named(&format!("interpolation/{kernel:?}/{n}"), WARMUP, K, || {
+                plan.interpolate(&ctx.comm, &ghost, kernel, &timers);
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_transport(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transport");
-    g.sample_size(10);
+fn bench_transport() {
     let n = 32;
     let ctx = Ctx::new(n);
     let fft = PencilFft::new(&ctx.comm, ctx.decomp);
@@ -100,23 +96,20 @@ fn bench_transport(c: &mut Criterion) {
         [0.4 * x[1].sin(), 0.3 * x[0].cos(), 0.2 * x[2].sin()]
     });
     let rho0 = ScalarField::from_fn(&ctx.grid, ws.block(), |x| x[0].sin() + x[1].cos());
-    g.bench_function("semi_lagrangian_setup", |b| {
-        b.iter(|| SemiLagrangian::new(&ws, &v, 4));
+    bench_named("transport/semi_lagrangian_setup/32", WARMUP, K, || {
+        SemiLagrangian::new(&ws, &v, 4);
     });
     let sl = SemiLagrangian::new(&ws, &v, 4);
-    g.bench_function("state_solve_nt4", |b| {
-        b.iter(|| sl.solve_state(&ws, &rho0));
+    bench_named("transport/state_solve_nt4/32", WARMUP, K, || {
+        sl.solve_state(&ws, &rho0);
     });
     let lam1 = rho0.clone();
-    g.bench_function("adjoint_solve_nt4", |b| {
-        b.iter(|| sl.solve_adjoint(&ws, &lam1));
+    bench_named("transport/adjoint_solve_nt4/32", WARMUP, K, || {
+        sl.solve_adjoint(&ws, &lam1);
     });
-    g.finish();
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver");
-    g.sample_size(10);
+fn bench_solver() {
     let n = 16;
     let ctx = Ctx::new(n);
     let fft = PencilFft::new(&ctx.comm, ctx.decomp);
@@ -129,18 +122,26 @@ fn bench_solver(c: &mut Criterion) {
     let cfg = RegistrationConfig::default();
     let mut prob = RegProblem::new(&ws, &t, &r, cfg);
     let v = VectorField::zeros(ws.block());
-    g.bench_function("gradient_eval_16", |b| {
-        b.iter(|| prob.linearize(&v));
+    bench_named("solver/gradient_eval/16", WARMUP, K, || {
+        prob.linearize(&v);
     });
     prob.linearize(&v);
     let dir = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
         [0.1 * x[1].sin(), 0.1 * x[0].cos(), 0.1 * x[2].sin()]
     });
-    g.bench_function("hessian_matvec_16", |b| {
-        b.iter(|| prob.hessian_vec(&dir));
+    bench_named("solver/hessian_matvec/16", WARMUP, K, || {
+        prob.hessian_vec(&dir);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_interp, bench_transport, bench_solver);
-criterion_main!(benches);
+fn main() {
+    // `cargo test` compiles and runs bench targets with `--test`; produce
+    // no output and exit quickly in that mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    bench_fft();
+    bench_interp();
+    bench_transport();
+    bench_solver();
+}

@@ -11,10 +11,9 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::stats::CommStats;
 use crate::traits::{Comm, CommData, ReduceOp};
@@ -67,7 +66,7 @@ fn make_channel_matrix(size: usize) -> Vec<Package> {
         (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
     for (src, row) in tx.iter_mut().enumerate() {
         for (dst, dst_rx) in rx.iter_mut().enumerate() {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             row.push(s);
             dst_rx[src] = Some(r);
             let _ = dst;

@@ -1,100 +1,165 @@
-//! Property-based tests of the simulated MPI runtime: collective semantics
-//! must hold for arbitrary payloads and rank counts.
+//! Seeded property tests of the simulated MPI runtime: collective semantics
+//! must hold for arbitrary payloads and rank counts, and — the determinism
+//! contract every reproducibility claim rests on — the same seed must
+//! produce byte-identical data whether generated serially or sharded across
+//! 2/4/6 simulated ranks.
 
 use diffreg_comm::{run_threaded, Comm, ReduceOp};
-use proptest::prelude::*;
+use diffreg_testkit::{prop_check, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn allgather_orders_by_rank(p in 1usize..6, payload in prop::collection::vec(0u64..1000, 0..8)) {
-        let payload2 = payload.clone();
+#[test]
+fn allgather_orders_by_rank() {
+    prop_check!(cases = 24, |rng| {
+        let p = rng.int_in(1, 5) as usize;
+        let len = rng.len_scaled(0, 8);
+        let payload = rng.vec_u64(len, 1000);
         run_threaded(p, move |comm| {
             let mine: Vec<u64> =
-                payload2.iter().map(|v| v + comm.rank() as u64 * 10_000).collect();
+                payload.iter().map(|v| v + comm.rank() as u64 * 10_000).collect();
             let all = comm.allgather(mine);
-            prop_assert_eq!(all.len(), p);
+            assert_eq!(all.len(), p);
             for (src, part) in all.iter().enumerate() {
-                for (got, base) in part.iter().zip(&payload2) {
-                    prop_assert_eq!(*got, base + src as u64 * 10_000);
+                for (got, base) in part.iter().zip(&payload) {
+                    assert_eq!(*got, base + src as u64 * 10_000);
                 }
             }
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn alltoallv_is_a_transpose(p in 1usize..6, seed in 0u64..1000) {
+#[test]
+fn alltoallv_is_a_transpose() {
+    prop_check!(cases = 24, |rng| {
+        let p = rng.int_in(1, 5) as usize;
+        let extra = rng.index(3);
         run_threaded(p, move |comm| {
             let me = comm.rank();
-            // part sent from s to d: vector of length (s + d + seed%3) filled
+            // Part sent from s to d: vector of length (s + d + extra) filled
             // with s*100 + d.
-            let parts: Vec<Vec<u64>> = (0..p)
-                .map(|d| vec![(me * 100 + d) as u64; me + d + (seed % 3) as usize])
-                .collect();
+            let parts: Vec<Vec<u64>> =
+                (0..p).map(|d| vec![(me * 100 + d) as u64; me + d + extra]).collect();
             let got = comm.alltoallv(parts);
             for (s, part) in got.iter().enumerate() {
-                prop_assert_eq!(part.len(), s + me + (seed % 3) as usize);
-                prop_assert!(part.iter().all(|&v| v == (s * 100 + me) as u64));
+                assert_eq!(part.len(), s + me + extra);
+                assert!(part.iter().all(|&v| v == (s * 100 + me) as u64));
             }
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn allreduce_matches_local_reduction(
-        p in 1usize..6,
-        vals in prop::collection::vec(-100.0f64..100.0, 1..6),
-    ) {
-        let vals2 = vals.clone();
+#[test]
+fn allreduce_matches_local_reduction() {
+    prop_check!(cases = 24, |rng| {
+        let p = rng.int_in(1, 5) as usize;
+        let len = rng.len_scaled(1, 6);
+        let vals = rng.vec_uniform(len, -100.0, 100.0);
         run_threaded(p, move |comm| {
-            let mine: Vec<f64> = vals2.iter().map(|v| v + comm.rank() as f64).collect();
+            let mine: Vec<f64> = vals.iter().map(|v| v + comm.rank() as f64).collect();
             let mut sum = mine.clone();
             comm.allreduce(&mut sum, ReduceOp::Sum);
             let mut mx = mine.clone();
             comm.allreduce(&mut mx, ReduceOp::Max);
-            for (i, base) in vals2.iter().enumerate() {
+            for (i, base) in vals.iter().enumerate() {
                 let expect_sum: f64 = (0..p).map(|r| base + r as f64).sum();
                 let expect_max = base + (p - 1) as f64;
-                prop_assert!((sum[i] - expect_sum).abs() < 1e-9);
-                prop_assert!((mx[i] - expect_max).abs() < 1e-12);
+                assert!((sum[i] - expect_sum).abs() < 1e-9);
+                assert!((mx[i] - expect_max).abs() < 1e-12);
             }
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn broadcast_replicates_root_data(p in 1usize..6, root_data in prop::collection::vec(any::<u32>(), 0..10)) {
-        let rd = root_data.clone();
+#[test]
+fn broadcast_replicates_root_data() {
+    prop_check!(cases = 24, |rng| {
+        let p = rng.int_in(1, 5) as usize;
+        let len = rng.len_scaled(0, 10);
+        let root_data: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32).collect();
         run_threaded(p, move |comm| {
             let root = p - 1;
-            let mut data = if comm.rank() == root { rd.clone() } else { vec![] };
+            let mut data = if comm.rank() == root { root_data.clone() } else { vec![] };
             comm.broadcast(root, &mut data);
-            prop_assert_eq!(&data, &rd);
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+            assert_eq!(data, root_data);
+        });
+    });
+}
 
-    #[test]
-    fn split_partitions_world(p in 2usize..7, colors in prop::collection::vec(0usize..3, 6)) {
-        let colors2 = colors.clone();
+#[test]
+fn split_partitions_world() {
+    prop_check!(cases = 24, |rng| {
+        let p = rng.int_in(2, 6) as usize;
+        let colors: Vec<usize> = (0..6).map(|_| rng.index(3)).collect();
         run_threaded(p, move |comm| {
-            let my_color = colors2[comm.rank() % colors2.len()] ;
+            let my_color = colors[comm.rank() % colors.len()];
             let sub = comm.split(my_color, comm.rank());
             // Group size must equal the number of world ranks with my color.
             let expect: usize =
-                (0..p).filter(|r| colors2[r % colors2.len()] == my_color).count();
-            prop_assert_eq!(sub.size(), expect);
+                (0..p).filter(|r| colors[r % colors.len()] == my_color).count();
+            assert_eq!(sub.size(), expect);
             // Sub-rank must be my position among same-colored world ranks.
             let expect_rank: usize = (0..comm.rank())
-                .filter(|r| colors2[r % colors2.len()] == my_color)
+                .filter(|r| colors[r % colors.len()] == my_color)
                 .count();
-            prop_assert_eq!(sub.rank(), expect_rank);
+            assert_eq!(sub.rank(), expect_rank);
             // The sub-communicator must actually work.
             let s = sub.sum_f64(1.0);
-            prop_assert!((s - expect as f64).abs() < 1e-12);
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+            assert!((s - expect as f64).abs() < 1e-12);
+        });
+    });
+}
+
+/// The determinism contract of the test harness itself: the same seed must
+/// produce byte-identical data whether the field is generated serially or
+/// sharded across 2, 4, or 6 simulated ranks. Each rank derives its stream
+/// with `Rng::fork(rank)` so generation is independent of the partition;
+/// the allgathered result must equal the serial reference bit-for-bit.
+/// Integer-valued payloads make the `allreduce` sums exact, so the reduced
+/// values must also be bitwise identical across rank counts.
+#[test]
+fn sharded_generation_is_byte_identical_across_rank_counts() {
+    prop_check!(cases = 16, |rng| {
+        let seed = rng.next_u64();
+        let per_rank = rng.len_scaled(1, 32);
+        // Serial reference: rank r's chunk comes from fork(r) of the base rng.
+        let reference = |p: usize| -> Vec<u64> {
+            (0..p)
+                .flat_map(|r| {
+                    let mut rr = Rng::new(seed).fork(r as u64);
+                    (0..per_rank).map(move |_| rr.next_u64())
+                })
+                .collect()
+        };
+        for p in [2usize, 4, 6] {
+            let serial = reference(p);
+            let serial2 = serial.clone();
+            let bits = run_threaded(p, move |comm| {
+                let mut rr = Rng::new(seed).fork(comm.rank() as u64);
+                let mine: Vec<u64> = (0..per_rank).map(|_| rr.next_u64()).collect();
+                let all: Vec<u64> =
+                    comm.allgather(mine.clone()).into_iter().flatten().collect();
+                // Byte-identical to the serial generation of the same seed.
+                assert_eq!(all, serial2, "sharded generation diverged at p={p}");
+                // Integer-valued f64 allreduce: order cannot change the bits.
+                let mut sums: Vec<f64> =
+                    mine.iter().map(|&v| (v % 1024) as f64).collect();
+                comm.allreduce(&mut sums, ReduceOp::Sum);
+                sums.iter().map(|s| s.to_bits()).collect::<Vec<u64>>()
+            });
+            // Every rank observed the identical reduced bits.
+            for b in &bits[1..] {
+                assert_eq!(b, &bits[0], "allreduce bits differ across ranks at p={p}");
+            }
+            // Cross-check against the serial oracle: position i of the
+            // reduced vector is the sum over ranks of chunk[r][i] % 1024.
+            let serial_sums: Vec<f64> = (0..per_rank)
+                .map(|i| {
+                    (0..p).map(|r| (serial[r * per_rank + i] % 1024) as f64).sum::<f64>()
+                })
+                .collect();
+            let got: Vec<f64> = bits[0].iter().map(|&b| f64::from_bits(b)).collect();
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(g.to_bits(), serial_sums[i].to_bits(), "sum bits at {i}, p={p}");
+            }
+        }
+    });
 }

@@ -1,20 +1,19 @@
-//! Property-based tests of the FFT stack: the algebraic identities that must
-//! hold for every transform length, including primes (Bluestein) and mixed
-//! composites.
+//! Seeded property tests of the FFT stack (via `testkit::prop_check!`): the
+//! algebraic identities that must hold for every transform length, including
+//! primes (Bluestein) and mixed composites, plus analytic plane-wave oracles.
 
 use diffreg_fft::{dft_forward, Complex64, Fft1d};
-use proptest::prelude::*;
+use diffreg_testkit::{prop_check, Rng};
 
-fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..max_len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+fn random_signal(rng: &mut Rng, max_len: usize) -> Vec<Complex64> {
+    let n = rng.len_scaled(1, max_len);
+    (0..n).map(|_| Complex64::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn roundtrip_is_identity(x in arb_signal(96)) {
+#[test]
+fn roundtrip_is_identity() {
+    prop_check!(|rng| {
+        let x = random_signal(rng, 96);
         let n = x.len();
         let plan = Fft1d::new(n);
         let mut buf = x.clone();
@@ -22,24 +21,31 @@ proptest! {
         plan.forward(&mut buf, &mut scratch);
         plan.inverse(&mut buf, &mut scratch);
         for (a, b) in buf.iter().zip(&x) {
-            prop_assert!((*a - *b).abs() < 1e-9 * (n as f64), "{a:?} vs {b:?}");
+            assert!((*a - *b).abs() < 1e-9 * (n as f64), "{a:?} vs {b:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn forward_matches_naive_dft(x in arb_signal(48)) {
+#[test]
+fn forward_matches_naive_dft() {
+    prop_check!(|rng| {
+        let x = random_signal(rng, 48);
         let n = x.len();
         let plan = Fft1d::new(n);
         let mut out = vec![Complex64::ZERO; n];
         plan.forward_into(&x, &mut out);
         let expect = dft_forward(&x);
         for (a, b) in out.iter().zip(&expect) {
-            prop_assert!((*a - *b).abs() < 1e-8 * (n as f64));
+            assert!((*a - *b).abs() < 1e-8 * (n as f64));
         }
-    }
+    });
+}
 
-    #[test]
-    fn linearity(x in arb_signal(64), alpha in -3.0f64..3.0) {
+#[test]
+fn linearity() {
+    prop_check!(|rng| {
+        let x = random_signal(rng, 64);
+        let alpha = rng.uniform(-3.0, 3.0);
         let n = x.len();
         let plan = Fft1d::new(n);
         // FFT(alpha x) == alpha FFT(x)
@@ -49,25 +55,31 @@ proptest! {
         let mut fsx = vec![Complex64::ZERO; n];
         plan.forward_into(&scaled, &mut fsx);
         for (a, b) in fsx.iter().zip(&fx) {
-            prop_assert!((*a - b.scale(alpha)).abs() < 1e-8 * n as f64);
+            assert!((*a - b.scale(alpha)).abs() < 1e-8 * n as f64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parseval_energy_is_preserved(x in arb_signal(64)) {
+#[test]
+fn parseval_energy_is_preserved() {
+    prop_check!(|rng| {
+        let x = random_signal(rng, 64);
         let n = x.len();
         let plan = Fft1d::new(n);
         let mut fx = vec![Complex64::ZERO; n];
         plan.forward_into(&x, &mut fx);
         let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let e_freq: f64 = fx.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-        prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time) * n as f64);
-    }
+        assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time) * n as f64);
+    });
+}
 
-    #[test]
-    fn circular_shift_theorem(x in arb_signal(48), shift in 0usize..47) {
+#[test]
+fn circular_shift_theorem() {
+    prop_check!(cases = 48, |rng| {
+        let x = random_signal(rng, 48);
         let n = x.len();
-        let shift = shift % n;
+        let shift = rng.index(n);
         let plan = Fft1d::new(n);
         let mut fx = vec![Complex64::ZERO; n];
         plan.forward_into(&x, &mut fx);
@@ -78,20 +90,83 @@ proptest! {
         let w = -std::f64::consts::TAU * shift as f64 / n as f64;
         for (k, (a, b)) in fy.iter().zip(&fx).enumerate() {
             let phase = Complex64::cis(w * k as f64);
-            prop_assert!((*a - *b * phase).abs() < 1e-8 * n as f64);
+            assert!((*a - *b * phase).abs() < 1e-8 * n as f64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn real_input_has_hermitian_spectrum(re in prop::collection::vec(-1.0f64..1.0, 2..64)) {
-        let n = re.len();
-        let x: Vec<Complex64> = re.iter().map(|&r| Complex64::from_real(r)).collect();
+#[test]
+fn real_input_has_hermitian_spectrum() {
+    prop_check!(|rng| {
+        let n = rng.len_scaled(2, 64);
+        let x: Vec<Complex64> =
+            (0..n).map(|_| Complex64::from_real(rng.uniform(-1.0, 1.0))).collect();
         let plan = Fft1d::new(n);
         let mut fx = vec![Complex64::ZERO; n];
         plan.forward_into(&x, &mut fx);
         for k in 1..n {
             let conj = fx[n - k].conj();
-            prop_assert!((fx[k] - conj).abs() < 1e-8 * n as f64, "bin {k}");
+            assert!((fx[k] - conj).abs() < 1e-8 * n as f64, "bin {k}");
         }
+    });
+}
+
+/// Edge lengths that exercise every code path of the plan selector: N=1 and
+/// N=2 (trivial), primes 17 and 97 (Bluestein), a prime square 49, and the
+/// highly composite 60 and 96 (mixed radix). Round-trip and Parseval must
+/// hold for each, on seeded random signals.
+#[test]
+fn edge_lengths_roundtrip_and_parseval() {
+    for n in [1usize, 2, 17, 49, 60, 96, 97] {
+        prop_check!(cases = 12, |rng| {
+            let x: Vec<Complex64> = (0..n)
+                .map(|_| Complex64::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+                .collect();
+            let plan = Fft1d::new(n);
+            let mut fx = vec![Complex64::ZERO; n];
+            plan.forward_into(&x, &mut fx);
+            // Parseval at this exact length.
+            let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let e_freq: f64 = fx.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!(
+                (e_time - e_freq).abs() < 1e-8 * (1.0 + e_time) * n as f64,
+                "Parseval broke at N={n}"
+            );
+            // Round trip at this exact length.
+            let mut buf = x.clone();
+            let mut scratch = Vec::new();
+            plan.forward(&mut buf, &mut scratch);
+            plan.inverse(&mut buf, &mut scratch);
+            for (a, b) in buf.iter().zip(&x) {
+                assert!((*a - *b).abs() < 1e-9 * (1 + n) as f64, "roundtrip broke at N={n}");
+            }
+            // And against the O(N²) DFT oracle.
+            let naive = dft_forward(&x);
+            for (a, b) in fx.iter().zip(&naive) {
+                assert!((*a - *b).abs() < 1e-8 * (1 + n) as f64, "DFT mismatch at N={n}");
+            }
+        });
     }
+}
+
+/// Analytic oracle: the DFT of a pure complex exponential
+/// `x_j = exp(2πi k j / N)` is exactly `N·δ(bin − k)`.
+#[test]
+fn complex_exponential_hits_single_bin() {
+    prop_check!(cases = 32, |rng| {
+        let n = rng.len_scaled(4, 80);
+        let k = rng.index(n);
+        let w = std::f64::consts::TAU * k as f64 / n as f64;
+        let x: Vec<Complex64> = (0..n).map(|j| Complex64::cis(w * j as f64)).collect();
+        let plan = Fft1d::new(n);
+        let mut fx = vec![Complex64::ZERO; n];
+        plan.forward_into(&x, &mut fx);
+        for (bin, v) in fx.iter().enumerate() {
+            let expect = if bin == k { Complex64::from_real(n as f64) } else { Complex64::ZERO };
+            assert!(
+                (*v - expect).abs() < 1e-8 * n as f64,
+                "N={n} k={k}: bin {bin} = {v:?}, expected {expect:?}"
+            );
+        }
+    });
 }

@@ -1,47 +1,51 @@
-//! Property-based tests of the decomposition and field algebra invariants.
+//! Seeded property tests of the decomposition and field algebra invariants:
+//! slab partitions, local/global index round-trips, layout tilings, and the
+//! axpy/scale/inner-product algebra of fields.
 
 use diffreg_comm::SerialComm;
 use diffreg_grid::{slab, slab_of, Block, Decomp, Grid, Layout, ScalarField};
-use proptest::prelude::*;
+use diffreg_testkit::prop_check;
 
-proptest! {
-    #[test]
-    fn slab_is_a_partition(n in 1usize..500, p in 1usize..17) {
-        prop_assume!(p <= n);
+#[test]
+fn slab_is_a_partition() {
+    prop_check!(cases = 64, |rng| {
+        let n = rng.int_in(1, 500) as usize;
+        let p = rng.int_in(1, 16).min(n as i64) as usize;
         let mut next = 0;
         for i in 0..p {
             let (s, c) = slab(n, p, i);
-            prop_assert_eq!(s, next, "slabs must be contiguous");
-            prop_assert!(c >= n / p && c <= n / p + 1, "balanced within one");
+            assert_eq!(s, next, "slabs must be contiguous");
+            assert!(c >= n / p && c <= n / p + 1, "balanced within one");
             for idx in s..s + c {
-                prop_assert_eq!(slab_of(n, p, idx), i);
+                assert_eq!(slab_of(n, p, idx), i);
             }
             next = s + c;
         }
-        prop_assert_eq!(next, n, "slabs must cover [0, n)");
-    }
+        assert_eq!(next, n, "slabs must cover [0, n)");
+    });
+}
 
-    #[test]
-    fn block_local_global_roundtrip(
-        start in prop::array::uniform3(0usize..20),
-        count in prop::array::uniform3(1usize..8),
-    ) {
+#[test]
+fn block_local_global_roundtrip() {
+    prop_check!(cases = 64, |rng| {
+        let start = [rng.index(20), rng.index(20), rng.index(20)];
+        let count = [1 + rng.index(7), 1 + rng.index(7), 1 + rng.index(7)];
         let b = Block { start, count };
         for l in 0..b.len() {
             let g = b.global_of_local(l);
-            prop_assert!(b.contains(g));
-            prop_assert_eq!(b.local_index(g), l);
+            assert!(b.contains(g));
+            assert_eq!(b.local_index(g), l);
         }
-    }
+    });
+}
 
-    #[test]
-    fn decomp_layouts_tile_the_grid(
-        n in prop::array::uniform3(4usize..12),
-        p1 in 1usize..4,
-        p2 in 1usize..4,
-    ) {
+#[test]
+fn decomp_layouts_tile_the_grid() {
+    prop_check!(cases = 32, |rng| {
+        let n = [4 + rng.index(8), 4 + rng.index(8), 4 + rng.index(8)];
+        let p1 = 1 + rng.index(3.min(n[0]).min(n[1]));
+        let p2 = 1 + rng.index(3.min(n[1]).min(n[2]));
         let grid = Grid::new(n);
-        prop_assume!(p1 <= n[0] && p1 <= n[1] && p2 <= n[1] && p2 <= n[2]);
         let d = Decomp::with_process_grid(grid, p1, p2);
         for layout in [Layout::Spatial, Layout::Mid, Layout::Spectral] {
             // Every global point is owned by exactly one rank.
@@ -53,32 +57,33 @@ proptest! {
                     seen[grid.flatten(g)] += 1;
                 }
             }
-            prop_assert!(seen.iter().all(|&c| c == 1), "layout {layout:?}");
+            assert!(seen.iter().all(|&c| c == 1), "layout {layout:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn owner_lookup_agrees_with_blocks(
-        n in prop::array::uniform3(4usize..10),
-        p1 in 1usize..4,
-        p2 in 1usize..4,
-    ) {
+#[test]
+fn owner_lookup_agrees_with_blocks() {
+    prop_check!(cases = 32, |rng| {
+        let n = [4 + rng.index(6), 4 + rng.index(6), 4 + rng.index(6)];
+        let p1 = 1 + rng.index(3.min(n[0]).min(n[1]));
+        let p2 = 1 + rng.index(3.min(n[1]).min(n[2]));
         let grid = Grid::new(n);
-        prop_assume!(p1 <= n[0] && p1 <= n[1] && p2 <= n[1] && p2 <= n[2]);
         let d = Decomp::with_process_grid(grid, p1, p2);
         for i0 in 0..n[0] {
             for i1 in 0..n[1] {
                 let owner = d.owner_spatial([i0, i1, 0]);
-                prop_assert!(d.block(owner, Layout::Spatial).contains([i0, i1, 0]));
+                assert!(d.block(owner, Layout::Spatial).contains([i0, i1, 0]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn field_axpy_scale_algebra(
-        vals in prop::collection::vec(-10.0f64..10.0, 8),
-        alpha in -3.0f64..3.0,
-    ) {
+#[test]
+fn field_axpy_scale_algebra() {
+    prop_check!(cases = 64, |rng| {
+        let vals = rng.vec_uniform(8, -10.0, 10.0);
+        let alpha = rng.uniform(-3.0, 3.0);
         let grid = Grid::new([2, 2, 2]);
         let d = Decomp::new(grid, 1);
         let block = d.block(0, Layout::Spatial);
@@ -90,11 +95,11 @@ proptest! {
         let mut c = a.clone();
         c.scale(1.0 + alpha);
         for (x, y) in b.data().iter().zip(c.data()) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10);
         }
         // Cauchy-Schwarz: |<a,b>| <= |a||b|
         let ab = a.inner(&b, &grid, &comm).abs();
         let bound = a.norm(&grid, &comm) * b.norm(&grid, &comm);
-        prop_assert!(ab <= bound + 1e-9);
-    }
+        assert!(ab <= bound + 1e-9);
+    });
 }

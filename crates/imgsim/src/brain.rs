@@ -11,10 +11,21 @@
 //! deformation plus non-correspondences — the regime the brain experiment
 //! exercises.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use diffreg_grid::{Block, Grid, ScalarField};
+use diffreg_testkit::Rng;
+
+/// Default seeds of the two-subject pair (the na01/na02 substitute).
+///
+/// These are *fixed by contract*: every rank of a distributed run (and every
+/// run, on any machine) evaluates `BrainSubject::new` with the same seed, so
+/// the anatomy parameters — and therefore the sampled phantom intensities —
+/// are bit-identical everywhere. The seeded `testkit::Rng` (xoshiro256**,
+/// pure integer arithmetic) guarantees the draw sequence is platform-
+/// independent, unlike `rand::StdRng` whose stream is only stable per crate
+/// version.
+pub const SUBJECT_A_SEED: u64 = 1;
+/// Seed of the second default subject; see [`SUBJECT_A_SEED`].
+pub const SUBJECT_B_SEED: u64 = 2;
 
 /// Smooth periodic squared distance between `x` and `c`, per axis weighted
 /// by `inv_r²`. Uses `2 sin(Δ/2)` so the phantom is exactly 2π-periodic.
@@ -51,9 +62,9 @@ impl BrainSubject {
     /// Draws a subject's anatomy from a seed; different seeds play the role
     /// of different individuals (na01, na02, ...).
     pub fn new(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let pi = std::f64::consts::PI;
-        let jitter = |rng: &mut StdRng, scale: f64| (rng.gen::<f64>() - 0.5) * 2.0 * scale;
+        let jitter = |rng: &mut Rng, scale: f64| (rng.next_f64() - 0.5) * 2.0 * scale;
         let center = [pi + jitter(&mut rng, 0.15), pi + jitter(&mut rng, 0.15), pi + jitter(&mut rng, 0.15)];
         let head_r = [
             1.35 + jitter(&mut rng, 0.12),
@@ -69,9 +80,9 @@ impl BrainSubject {
                 center[2] + jitter(&mut rng, 0.8),
             ];
             let r = [
-                0.25 + rng.gen::<f64>() * 0.3,
-                0.25 + rng.gen::<f64>() * 0.3,
-                0.25 + rng.gen::<f64>() * 0.3,
+                0.25 + rng.next_f64() * 0.3,
+                0.25 + rng.next_f64() * 0.3,
+                0.25 + rng.next_f64() * 0.3,
             ];
             let a = jitter(&mut rng, 0.12);
             blobs.push((c, r, a));
@@ -82,7 +93,7 @@ impl BrainSubject {
             ventricle_offset: 0.35 + jitter(&mut rng, 0.06),
             ventricle_r: [0.28 + jitter(&mut rng, 0.05), 0.5 + jitter(&mut rng, 0.08), 0.25 + jitter(&mut rng, 0.05)],
             fold_freq: [6.0 + jitter(&mut rng, 1.0).round(), 5.0 + jitter(&mut rng, 1.0).round()],
-            fold_phase: [rng.gen::<f64>() * 2.0 * pi, rng.gen::<f64>() * 2.0 * pi],
+            fold_phase: [rng.next_f64() * 2.0 * pi, rng.next_f64() * 2.0 * pi],
             fold_amp: 0.08 + jitter(&mut rng, 0.02),
             blobs,
             intensity_scale: 1.0 + jitter(&mut rng, 0.05),
@@ -138,8 +149,8 @@ fn smoothstep(t: f64, w: f64) -> f64 {
 /// Convenience: the two-subject problem of the paper's brain experiment
 /// (the na01/na02 substitute). Returns (reference, template).
 pub fn two_subject_pair(grid: &Grid, block: Block) -> (ScalarField, ScalarField) {
-    let s1 = BrainSubject::new(1);
-    let s2 = BrainSubject::new(2);
+    let s1 = BrainSubject::new(SUBJECT_A_SEED);
+    let s2 = BrainSubject::new(SUBJECT_B_SEED);
     (s1.image(grid, block), s2.image(grid, block))
 }
 

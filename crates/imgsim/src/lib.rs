@@ -14,7 +14,7 @@ mod metrics;
 mod padding;
 mod synthetic;
 
-pub use brain::{two_subject_pair, BrainSubject};
+pub use brain::{two_subject_pair, BrainSubject, SUBJECT_A_SEED, SUBJECT_B_SEED};
 pub use io::{axial_slice, read_raw_volume, write_pgm, write_raw_volume};
 pub use metrics::{correlation, max_abs_diff, relative_residual, ssd};
 pub use padding::{crop_padded, embed_padded, PaddedImage};

@@ -20,10 +20,8 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// A machine model: effective per-task flop rate and network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
     /// Human-readable system name.
     pub name: &'static str,
@@ -90,7 +88,7 @@ impl Machine {
 }
 
 /// The algorithmic shape of one registration solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveShape {
     /// Semi-Lagrangian time steps (paper: 4).
     pub nt: usize,
@@ -121,7 +119,7 @@ impl SolveShape {
 }
 
 /// Modeled time-to-solution, split the way the paper's tables report it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Breakdown {
     /// FFT communication seconds (transposes).
     pub fft_comm: f64,

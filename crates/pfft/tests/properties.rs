@@ -1,11 +1,13 @@
-//! Property-based tests of the distributed FFT against the serial oracle,
-//! over random grids, process layouts, and band-limited fields.
+//! Seeded property tests of the distributed FFT against the serial oracle
+//! and against analytic plane waves, over random grids, process layouts,
+//! and band-limited fields.
 
-use diffreg_comm::{run_threaded, SerialComm, Timers};
+use diffreg_comm::{run_threaded, Comm, SerialComm, Timers};
 use diffreg_grid::{Decomp, Grid, Layout, ScalarField};
 use diffreg_pfft::PencilFft;
 use diffreg_spectral::SerialSpectral;
-use proptest::prelude::*;
+use diffreg_testkit::oracle::PlaneWave;
+use diffreg_testkit::prop_check;
 
 fn field_from_seed(grid: &Grid, block: diffreg_grid::Block, seed: u64) -> ScalarField {
     ScalarField::from_fn(grid, block, |x| {
@@ -14,17 +16,14 @@ fn field_from_seed(grid: &Grid, block: diffreg_grid::Block, seed: u64) -> Scalar
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn distributed_roundtrip_any_layout(
-        n0 in 4usize..10, n1 in 4usize..10, n2 in 4usize..10,
-        p1 in 1usize..3, p2 in 1usize..3,
-        seed in 0u64..1000,
-    ) {
-        let grid = Grid::new([n0, n1, n2]);
-        prop_assume!(p1 <= n0 && p1 <= n1 && p2 <= n1 && p2 <= n2);
+#[test]
+fn distributed_roundtrip_any_layout() {
+    prop_check!(cases = 12, |rng| {
+        let n = [4 + rng.index(6), 4 + rng.index(6), 4 + rng.index(6)];
+        let p1 = 1 + rng.index(2.min(n[0]).min(n[1]));
+        let p2 = 1 + rng.index(2.min(n[1]).min(n[2]));
+        let seed = rng.next_u64() % 1000;
+        let grid = Grid::new(n);
         run_threaded(p1 * p2, move |comm| {
             let decomp = Decomp::with_process_grid(grid, p1, p2);
             let plan = PencilFft::new(comm, decomp);
@@ -33,17 +32,17 @@ proptest! {
             let spec = plan.forward(&field, &timers);
             let back = plan.inverse(&spec, &timers);
             for (a, b) in back.data().iter().zip(field.data()) {
-                prop_assert!((a - b).abs() < 1e-9, "roundtrip broke: {a} vs {b}");
+                assert!((a - b).abs() < 1e-9, "roundtrip broke: {a} vs {b}");
             }
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn distributed_derivative_matches_serial(
-        axis in 0usize..3,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn distributed_derivative_matches_serial() {
+    prop_check!(cases = 12, |rng| {
+        let axis = rng.index(3);
+        let seed = rng.next_u64() % 1000;
         let grid = Grid::new([8, 6, 10]);
         // Serial oracle.
         let oracle = {
@@ -61,14 +60,49 @@ proptest! {
             for (l, v) in got.data().iter().enumerate() {
                 let gi = block.global_of_local(l);
                 let want = oracle[grid.flatten(gi)];
-                prop_assert!((v - want).abs() < 1e-9, "axis {axis} at {gi:?}");
+                assert!((v - want).abs() < 1e-9, "axis {axis} at {gi:?}");
             }
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn parseval_holds_distributed(seed in 0u64..1000, p in 1usize..5) {
+/// Analytic oracle: plane waves are exact eigenfunctions of the spectral
+/// derivative — the distributed gradient of `cos(k·x + φ)` must equal
+/// `−k_a sin(k·x + φ)` per axis, on every process layout tested.
+#[test]
+fn distributed_gradient_matches_plane_wave_analytic() {
+    prop_check!(cases = 12, |rng| {
+        let wave = PlaneWave::random(rng, 3);
+        let grid = Grid::cubic(8);
+        for p in [1usize, 2, 4] {
+            run_threaded(p, move |comm| {
+                let decomp = Decomp::new(grid, comm.size());
+                let plan = PencilFft::new(comm, decomp);
+                let block = plan.spatial_block();
+                let f = ScalarField::from_fn(&grid, block, |x| wave.eval(x));
+                let timers = Timers::new();
+                for axis in 0..3 {
+                    let got = plan.derivative(&f, axis, &timers);
+                    for (l, v) in got.data().iter().enumerate() {
+                        let gi = block.global_of_local(l);
+                        let x = [grid.coord(0, gi[0]), grid.coord(1, gi[1]), grid.coord(2, gi[2])];
+                        let want = wave.grad(x)[axis];
+                        assert!(
+                            (v - want).abs() < 1e-9,
+                            "plane-wave derivative axis {axis}: {v} vs {want}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn parseval_holds_distributed() {
+    prop_check!(cases = 12, |rng| {
+        let seed = rng.next_u64() % 1000;
+        let p = 1 + rng.index(4);
         let grid = Grid::new([8, 8, 8]);
         run_threaded(p, move |comm| {
             let decomp = Decomp::new(grid, p);
@@ -76,31 +110,30 @@ proptest! {
             let field = field_from_seed(&grid, plan.spatial_block(), seed);
             let timers = Timers::new();
             let spec = plan.forward(&field, &timers);
-            use diffreg_comm::Comm;
             let e_time = comm.sum_f64(field.data().iter().map(|v| v * v).sum());
             let e_freq =
                 comm.sum_f64(spec.data.iter().map(|z| z.norm_sqr()).sum()) / grid.total() as f64;
-            prop_assert!((e_time - e_freq).abs() < 1e-7 * (1.0 + e_time));
-            Ok(())
-        }).into_iter().collect::<Result<Vec<_>, _>>()?;
-    }
+            assert!((e_time - e_freq).abs() < 1e-7 * (1.0 + e_time));
+        });
+    });
+}
 
-    #[test]
-    fn translate_shifts_bandlimited_fields_exactly(
-        s0 in -1.0f64..1.0, s1 in -1.0f64..1.0, s2 in -1.0f64..1.0,
-    ) {
+#[test]
+fn translate_shifts_bandlimited_fields_exactly() {
+    prop_check!(cases = 24, |rng| {
+        let s = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
         let grid = Grid::cubic(8);
         let comm = SerialComm::new();
         let plan = PencilFft::new(&comm, Decomp::new(grid, 1));
         let timers = Timers::new();
         let block = plan.spatial_block();
         let f = ScalarField::from_fn(&grid, block, |x| x[0].sin() + (2.0 * x[1]).cos());
-        let shifted = plan.translate(&f, [s0, s1, s2], &timers);
+        let shifted = plan.translate(&f, s, &timers);
         let expect = ScalarField::from_fn(&grid, block, |x| {
-            (x[0] - s0).sin() + (2.0 * (x[1] - s1)).cos()
+            (x[0] - s[0]).sin() + (2.0 * (x[1] - s[1])).cos()
         });
         for (a, b) in shifted.data().iter().zip(expect.data()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
 }

@@ -1,134 +1,130 @@
-//! Property-based tests of the spectral operator identities on random
-//! band-limited fields.
+//! Seeded property tests of the spectral operator identities on random
+//! band-limited fields, pinned to the plane-wave analytic oracle: every
+//! operator in this crate is a Fourier multiplier, and `cos(k·x+φ)` is an
+//! exact eigenfunction of each.
 
 use diffreg_spectral::SerialSpectral;
-use proptest::prelude::*;
-use std::f64::consts::TAU;
+use diffreg_testkit::oracle::{mode_sum, mode_sum_grad, mode_sum_laplacian, PlaneWave};
+use diffreg_testkit::{prop_check, Rng};
 
-/// A random band-limited real field: sum of a few low-frequency modes with
-/// random amplitudes and phases.
-fn random_field(n: [usize; 3], modes: &[(i32, i32, i32, f64, f64)]) -> Vec<f64> {
-    let mut out = vec![0.0; n[0] * n[1] * n[2]];
-    let mut l = 0;
-    for i0 in 0..n[0] {
-        for i1 in 0..n[1] {
-            for i2 in 0..n[2] {
-                let x = [
-                    TAU * i0 as f64 / n[0] as f64,
-                    TAU * i1 as f64 / n[1] as f64,
-                    TAU * i2 as f64 / n[2] as f64,
-                ];
-                for &(k0, k1, k2, amp, phase) in modes {
-                    out[l] += amp
-                        * (k0 as f64 * x[0] + k1 as f64 * x[1] + k2 as f64 * x[2] + phase).cos();
-                }
-                l += 1;
-            }
-        }
-    }
-    out
+fn random_modes(rng: &mut Rng, max_modes: usize, kmax: i32) -> Vec<PlaneWave> {
+    let m = rng.len_scaled(1, max_modes);
+    (0..m).map(|_| PlaneWave::random(rng, kmax)).collect()
 }
 
-fn arb_modes() -> impl Strategy<Value = Vec<(i32, i32, i32, f64, f64)>> {
-    prop::collection::vec(
-        (-3i32..=3, -3i32..=3, -3i32..=3, -1.0f64..1.0, 0.0f64..TAU),
-        1..5,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn laplacian_of_mode_sum_is_analytic(modes in arb_modes()) {
+#[test]
+fn laplacian_of_mode_sum_is_analytic() {
+    prop_check!(cases = 24, |rng| {
         let n = [8usize, 8, 8];
+        let modes = random_modes(rng, 4, 3);
         let sp = SerialSpectral::new(n);
-        let f = random_field(n, &modes);
-        let lap = sp.laplacian(&f);
+        let lap = sp.laplacian(&mode_sum(n, &modes));
         // Analytic: Δ cos(k·x + φ) = −|k|² cos(k·x + φ).
-        let mut expect = vec![0.0; f.len()];
-        let mut l = 0;
-        for i0 in 0..n[0] {
-            for i1 in 0..n[1] {
-                for i2 in 0..n[2] {
-                    let x = [
-                        TAU * i0 as f64 / 8.0,
-                        TAU * i1 as f64 / 8.0,
-                        TAU * i2 as f64 / 8.0,
-                    ];
-                    for &(k0, k1, k2, amp, phase) in &modes {
-                        let k2sum = (k0 * k0 + k1 * k1 + k2 * k2) as f64;
-                        expect[l] -= amp * k2sum
-                            * (k0 as f64 * x[0] + k1 as f64 * x[1] + k2 as f64 * x[2] + phase)
-                                .cos();
-                    }
-                    l += 1;
-                }
+        let expect = mode_sum_laplacian(n, &modes);
+        for (a, b) in lap.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    });
+}
+
+#[test]
+fn gradient_matches_analytic_plane_waves() {
+    prop_check!(cases = 24, |rng| {
+        let n = [8usize, 6, 10];
+        let modes = random_modes(rng, 4, 2);
+        let sp = SerialSpectral::new(n);
+        let g = sp.gradient(&mode_sum(n, &modes));
+        // Analytic: ∇ cos(k·x + φ) = −k sin(k·x + φ).
+        let expect = mode_sum_grad(n, &modes);
+        for a in 0..3 {
+            for (x, y) in g[a].iter().zip(&expect[a]) {
+                assert!((x - y).abs() < 1e-8, "axis {a}");
             }
         }
-        for (a, b) in lap.iter().zip(&expect) {
-            prop_assert!((a - b).abs() < 1e-8);
-        }
-    }
+    });
+}
 
-    #[test]
-    fn gradient_is_linear(modes in arb_modes(), alpha in -2.0f64..2.0) {
+#[test]
+fn gradient_is_linear() {
+    prop_check!(cases = 24, |rng| {
         let n = [6usize, 6, 6];
+        let modes = random_modes(rng, 4, 3);
+        let alpha = rng.uniform(-2.0, 2.0);
         let sp = SerialSpectral::new(n);
-        let f = random_field(n, &modes);
+        let f = mode_sum(n, &modes);
         let scaled: Vec<f64> = f.iter().map(|v| alpha * v).collect();
         let g1 = sp.gradient(&f);
         let g2 = sp.gradient(&scaled);
         for a in 0..3 {
             for (x, y) in g1[a].iter().zip(&g2[a]) {
-                prop_assert!((alpha * x - y).abs() < 1e-9);
+                assert!((alpha * x - y).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn leray_is_idempotent_and_divergence_free(
-        m0 in arb_modes(), m1 in arb_modes(), m2 in arb_modes(),
-    ) {
+#[test]
+fn leray_is_idempotent_and_divergence_free() {
+    prop_check!(cases = 24, |rng| {
         let n = [8usize, 8, 8];
         let sp = SerialSpectral::new(n);
-        let v = [random_field(n, &m0), random_field(n, &m1), random_field(n, &m2)];
+        let v = [
+            mode_sum(n, &random_modes(rng, 4, 3)),
+            mode_sum(n, &random_modes(rng, 4, 3)),
+            mode_sum(n, &random_modes(rng, 4, 3)),
+        ];
         let p = sp.leray([&v[0], &v[1], &v[2]]);
         let div = sp.divergence([&p[0], &p[1], &p[2]]);
         for d in &div {
-            prop_assert!(d.abs() < 1e-8, "projection not solenoidal: {d}");
+            assert!(d.abs() < 1e-8, "projection not solenoidal: {d}");
         }
         let pp = sp.leray([&p[0], &p[1], &p[2]]);
         for a in 0..3 {
             for (x, y) in p[a].iter().zip(&pp[a]) {
-                prop_assert!((x - y).abs() < 1e-8, "P not idempotent");
+                assert!((x - y).abs() < 1e-8, "P not idempotent");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn inv_laplacian_is_right_inverse_on_zero_mean(modes in arb_modes()) {
+#[test]
+fn inv_laplacian_inverts_analytic_laplacian() {
+    prop_check!(cases = 24, |rng| {
         let n = [8usize, 8, 8];
-        // Drop the constant mode to stay in the invertible subspace.
-        let modes: Vec<_> =
-            modes.into_iter().filter(|&(a, b, c, _, _)| (a, b, c) != (0, 0, 0)).collect();
-        prop_assume!(!modes.is_empty());
+        // Stay in the invertible (zero-mean) subspace: non-constant modes.
+        let m = rng.len_scaled(1, 4);
+        let modes: Vec<PlaneWave> =
+            (0..m).map(|_| PlaneWave::random_nonconstant(rng, 3)).collect();
         let sp = SerialSpectral::new(n);
-        let f = random_field(n, &modes);
+        let f = mode_sum(n, &modes);
+        // Right inverse: Δ(Δ⁻¹ f) = f.
         let back = sp.laplacian(&sp.inv_laplacian(&f));
         for (a, b) in back.iter().zip(&f) {
-            prop_assert!((a - b).abs() < 1e-8);
+            assert!((a - b).abs() < 1e-8);
         }
-    }
+        // And against the closed form: Δ⁻¹ cos(k·x+φ) = −cos(k·x+φ)/|k|².
+        let inv = sp.inv_laplacian(&f);
+        let mut expect = vec![0.0; f.len()];
+        diffreg_testkit::oracle::for_each_point(n, |l, x| {
+            expect[l] = modes.iter().map(|w| w.inv_laplacian(x)).sum();
+        });
+        for (a, b) in inv.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    });
+}
 
-    #[test]
-    fn smoothing_is_a_contraction(modes in arb_modes(), sigma in 0.1f64..2.0) {
+#[test]
+fn smoothing_is_a_contraction() {
+    prop_check!(cases = 24, |rng| {
         let n = [8usize, 8, 8];
+        let modes = random_modes(rng, 4, 3);
+        let sigma = rng.uniform(0.1, 2.0);
         let sp = SerialSpectral::new(n);
-        let f = random_field(n, &modes);
+        let f = mode_sum(n, &modes);
         let s = sp.gaussian_smooth(&f, sigma);
         let e_f: f64 = f.iter().map(|v| v * v).sum();
         let e_s: f64 = s.iter().map(|v| v * v).sum();
-        prop_assert!(e_s <= e_f + 1e-9, "smoothing must not add energy");
-    }
+        assert!(e_s <= e_f + 1e-9, "smoothing must not add energy");
+    });
 }

@@ -1,0 +1,395 @@
+//! Closed-form analytic oracles, mirroring the paper's §IV verification
+//! methodology (and CLAIRE's self-checks): every kernel in the workspace is
+//! pinned to a field whose exact transform, derivative, or transported
+//! state is known in closed form.
+//!
+//! * [`PlaneWave`] — `a·cos(k·x + φ)` with exact gradient, divergence,
+//!   Laplacian, and inverse Laplacian (eigenfunctions of every Fourier
+//!   multiplier the solver uses).
+//! * [`Translation`] — constant velocity; semi-Lagrangian RK2 transports
+//!   `f(x)` to exactly `f(x − t v)` (the trajectories are straight lines,
+//!   so only interpolation error remains).
+//! * [`taylor_green_velocity`] / [`taylor_green_invariant`] — the classic
+//!   divergence-free cellular rotation field; its streamfunction
+//!   `sin x₀ sin x₁` satisfies `v·∇ψ = 0` and is therefore transported to
+//!   *itself* for all time.
+//! * [`shear_velocity`] / shear transport — `v = (a sin x₁, 0, 0)` has
+//!   straight-line characteristics with spatially varying speed; the
+//!   transported state is `f(x₀ − t a sin x₁, x₁, x₂)` exactly.
+//! * [`GaussianPair`] — two periodic Gaussian bumps offset by a known
+//!   shift: a registration problem whose solution (a translation) is known.
+//! * [`adjoint_asymmetry`] / [`fd_directional`] — the adjoint-consistency
+//!   `⟨Hx,y⟩ = ⟨x,Hy⟩` and finite-difference gradient checks.
+//!
+//! All fields use the workspace grid convention: the periodic domain is
+//! `[0, 2π)³`, point `(i₀,i₁,i₂)` sits at `x_a = 2π i_a / n_a`, and flat
+//! storage is row-major (`i₂` fastest).
+
+use std::f64::consts::TAU;
+
+/// Calls `f(linear_index, x)` for every grid point of an `n[0]×n[1]×n[2]`
+/// periodic grid (row-major, axis 2 fastest).
+pub fn for_each_point(n: [usize; 3], mut f: impl FnMut(usize, [f64; 3])) {
+    let mut l = 0;
+    for i0 in 0..n[0] {
+        for i1 in 0..n[1] {
+            for i2 in 0..n[2] {
+                let x = [
+                    TAU * i0 as f64 / n[0] as f64,
+                    TAU * i1 as f64 / n[1] as f64,
+                    TAU * i2 as f64 / n[2] as f64,
+                ];
+                f(l, x);
+                l += 1;
+            }
+        }
+    }
+}
+
+/// Samples a scalar function on the full grid.
+pub fn sample(n: [usize; 3], f: impl Fn([f64; 3]) -> f64) -> Vec<f64> {
+    let mut out = vec![0.0; n[0] * n[1] * n[2]];
+    for_each_point(n, |l, x| out[l] = f(x));
+    out
+}
+
+/// A single Fourier mode `a·cos(k·x + φ)` with integer wavevector `k` —
+/// an exact eigenfunction of every spectral operator in the solver.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneWave {
+    /// Integer wavevector.
+    pub k: [i32; 3],
+    /// Amplitude.
+    pub amp: f64,
+    /// Phase offset.
+    pub phase: f64,
+}
+
+impl PlaneWave {
+    /// A random mode with components in `[-kmax, kmax]`.
+    pub fn random(rng: &mut crate::Rng, kmax: i32) -> Self {
+        Self {
+            k: [
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+            ],
+            amp: rng.uniform(-1.0, 1.0),
+            phase: rng.uniform(0.0, TAU),
+        }
+    }
+
+    /// Ensures the mode is non-constant (re-draws `k` if zero).
+    pub fn random_nonconstant(rng: &mut crate::Rng, kmax: i32) -> Self {
+        let mut w = Self::random(rng, kmax.max(1));
+        while w.k == [0, 0, 0] {
+            w.k = [
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+                rng.int_in(-kmax as i64, kmax as i64) as i32,
+            ];
+        }
+        w
+    }
+
+    #[inline]
+    fn arg(&self, x: [f64; 3]) -> f64 {
+        self.k[0] as f64 * x[0] + self.k[1] as f64 * x[1] + self.k[2] as f64 * x[2] + self.phase
+    }
+
+    /// `|k|²`.
+    pub fn k2(&self) -> f64 {
+        (self.k[0] * self.k[0] + self.k[1] * self.k[1] + self.k[2] * self.k[2]) as f64
+    }
+
+    /// The field value at `x`.
+    pub fn eval(&self, x: [f64; 3]) -> f64 {
+        self.amp * self.arg(x).cos()
+    }
+
+    /// Exact gradient at `x`: `−a k sin(k·x+φ)`.
+    pub fn grad(&self, x: [f64; 3]) -> [f64; 3] {
+        let s = -self.amp * self.arg(x).sin();
+        [self.k[0] as f64 * s, self.k[1] as f64 * s, self.k[2] as f64 * s]
+    }
+
+    /// Exact Laplacian at `x`: `−|k|² a cos(k·x+φ)`.
+    pub fn laplacian(&self, x: [f64; 3]) -> f64 {
+        -self.k2() * self.eval(x)
+    }
+
+    /// Exact inverse Laplacian at `x` (requires `k ≠ 0`).
+    pub fn inv_laplacian(&self, x: [f64; 3]) -> f64 {
+        assert!(self.k != [0, 0, 0], "inverse Laplacian needs a non-constant mode");
+        -self.eval(x) / self.k2()
+    }
+
+    /// Samples the field on the full grid.
+    pub fn field(&self, n: [usize; 3]) -> Vec<f64> {
+        sample(n, |x| self.eval(x))
+    }
+}
+
+/// Sums a set of modes into one band-limited field.
+pub fn mode_sum(n: [usize; 3], modes: &[PlaneWave]) -> Vec<f64> {
+    sample(n, |x| modes.iter().map(|m| m.eval(x)).sum())
+}
+
+/// Exact gradient of a mode sum, as three full-grid component fields.
+pub fn mode_sum_grad(n: [usize; 3], modes: &[PlaneWave]) -> [Vec<f64>; 3] {
+    let mut g = [
+        vec![0.0; n[0] * n[1] * n[2]],
+        vec![0.0; n[0] * n[1] * n[2]],
+        vec![0.0; n[0] * n[1] * n[2]],
+    ];
+    for_each_point(n, |l, x| {
+        for m in modes {
+            let gm = m.grad(x);
+            g[0][l] += gm[0];
+            g[1][l] += gm[1];
+            g[2][l] += gm[2];
+        }
+    });
+    g
+}
+
+/// Exact Laplacian of a mode sum on the full grid.
+pub fn mode_sum_laplacian(n: [usize; 3], modes: &[PlaneWave]) -> Vec<f64> {
+    sample(n, |x| modes.iter().map(|m| m.laplacian(x)).sum())
+}
+
+/// Constant-velocity transport oracle: under `v(x) ≡ v`, any initial state
+/// `f` is transported to exactly `f(x − t v)` (periodically wrapped).
+#[derive(Debug, Clone, Copy)]
+pub struct Translation {
+    /// The constant velocity.
+    pub v: [f64; 3],
+}
+
+impl Translation {
+    /// The velocity field value (independent of `x`).
+    pub fn velocity(&self, _x: [f64; 3]) -> [f64; 3] {
+        self.v
+    }
+
+    /// The exactly transported state at time `t` of initial condition `f`.
+    pub fn transported(&self, f: impl Fn([f64; 3]) -> f64, t: f64, x: [f64; 3]) -> f64 {
+        f([x[0] - t * self.v[0], x[1] - t * self.v[1], x[2] - t * self.v[2]])
+    }
+}
+
+/// The Taylor–Green-style cellular rotation field
+/// `v(x) = a (sin x₀ cos x₁, −cos x₀ sin x₁, 0)`: divergence-free,
+/// periodic, with closed circulating streamlines.
+pub fn taylor_green_velocity(x: [f64; 3], amp: f64) -> [f64; 3] {
+    [amp * x[0].sin() * x[1].cos(), -amp * x[0].cos() * x[1].sin(), 0.0]
+}
+
+/// The streamfunction `ψ = sin x₀ sin x₁` of the Taylor–Green field:
+/// `v·∇ψ = 0`, so transporting `ψ` under [`taylor_green_velocity`] leaves
+/// it exactly invariant for all time — a rotation field with a known
+/// transported state.
+pub fn taylor_green_invariant(x: [f64; 3]) -> f64 {
+    x[0].sin() * x[1].sin()
+}
+
+/// A stationary shear field `v = (a sin x₁, 0, 0)`: characteristics are
+/// straight lines with spatially varying speed.
+pub fn shear_velocity(x: [f64; 3], amp: f64) -> [f64; 3] {
+    [amp * x[1].sin(), 0.0, 0.0]
+}
+
+/// The exactly transported state of `f` under [`shear_velocity`] at time
+/// `t`: `f(x₀ − t a sin x₁, x₁, x₂)`.
+pub fn shear_transported(f: impl Fn([f64; 3]) -> f64, amp: f64, t: f64, x: [f64; 3]) -> f64 {
+    f([x[0] - t * amp * x[1].sin(), x[1], x[2]])
+}
+
+/// Smooth periodic squared distance `Σ (2 sin((x−c)/2))²/r²` — exactly
+/// 2π-periodic, ≈ `|x−c|²/r²` near `c`.
+fn periodic_dist2(x: [f64; 3], c: [f64; 3], r: f64) -> f64 {
+    let mut s = 0.0;
+    for a in 0..3 {
+        let d = 2.0 * ((x[a] - c[a]) * 0.5).sin() / r;
+        s += d * d;
+    }
+    s
+}
+
+/// A registration problem with a known solution: template and reference are
+/// the same periodic Gaussian bump offset by `shift`, so the ground-truth
+/// map is the translation by `shift` and a correct solver must drive the
+/// mismatch far below the unregistered value.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianPair {
+    /// Bump center of the template.
+    pub center: [f64; 3],
+    /// Ground-truth displacement from template to reference.
+    pub shift: [f64; 3],
+    /// Bump width (standard-deviation-like scale).
+    pub width: f64,
+}
+
+impl GaussianPair {
+    /// A centered pair with the given shift and width.
+    pub fn new(shift: [f64; 3], width: f64) -> Self {
+        let pi = std::f64::consts::PI;
+        Self { center: [pi, pi, pi], shift, width }
+    }
+
+    /// Template intensity at `x`.
+    pub fn template(&self, x: [f64; 3]) -> f64 {
+        (-0.5 * periodic_dist2(x, self.center, self.width)).exp()
+    }
+
+    /// Reference intensity at `x` — the template translated by `shift`.
+    pub fn reference(&self, x: [f64; 3]) -> f64 {
+        self.template([x[0] - self.shift[0], x[1] - self.shift[1], x[2] - self.shift[2]])
+    }
+}
+
+/// Relative adjoint asymmetry `|⟨Hx,y⟩ − ⟨x,Hy⟩| / (‖x‖‖y‖)`.
+///
+/// The acceptance bound used across the workspace is `1e-10`: a correct
+/// discrete adjoint pairs to round-off, not to discretization error.
+pub fn adjoint_asymmetry(hx_dot_y: f64, x_dot_hy: f64, norm_x: f64, norm_y: f64) -> f64 {
+    (hx_dot_y - x_dot_hy).abs() / (norm_x * norm_y).max(f64::MIN_POSITIVE)
+}
+
+/// Central finite-difference directional derivative `(g(ε) − g(−ε)) / 2ε`
+/// of a scalar function of one step parameter.
+pub fn fd_directional(mut g: impl FnMut(f64) -> f64, eps: f64) -> f64 {
+    (g(eps) - g(-eps)) / (2.0 * eps)
+}
+
+/// Dot product of two slices (asserts equal length).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute pointwise difference between two slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Central-difference oracle-of-the-oracle: PlaneWave's closed forms
+    /// must agree with numerical differentiation of its own `eval`.
+    #[test]
+    fn plane_wave_calculus_is_consistent() {
+        let mut rng = Rng::new(11);
+        for _ in 0..20 {
+            let w = PlaneWave::random_nonconstant(&mut rng, 3);
+            let x = rng.point_2pi();
+            let h = 1e-5;
+            let g = w.grad(x);
+            let mut lap_fd = 0.0;
+            for a in 0..3 {
+                let mut xp = x;
+                xp[a] += h;
+                let mut xm = x;
+                xm[a] -= h;
+                let fd = (w.eval(xp) - w.eval(xm)) / (2.0 * h);
+                assert!((fd - g[a]).abs() < 1e-6, "grad axis {a}: {fd} vs {}", g[a]);
+                lap_fd += (w.eval(xp) - 2.0 * w.eval(x) + w.eval(xm)) / (h * h);
+            }
+            assert!((lap_fd - w.laplacian(x)).abs() < 1e-4);
+            // Δ(Δ⁻¹ f) = f.
+            assert!((w.k2() * w.inv_laplacian(x) + w.eval(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn taylor_green_is_divergence_free_and_invariant() {
+        let mut rng = Rng::new(3);
+        let h = 1e-5;
+        for _ in 0..50 {
+            let x = rng.point_2pi();
+            // div v = 0 by central differences.
+            let mut div = 0.0;
+            for a in 0..2 {
+                let mut xp = x;
+                xp[a] += h;
+                let mut xm = x;
+                xm[a] -= h;
+                div += (taylor_green_velocity(xp, 1.3)[a] - taylor_green_velocity(xm, 1.3)[a])
+                    / (2.0 * h);
+            }
+            assert!(div.abs() < 1e-8, "div {div}");
+            // v·∇ψ = 0: the invariant is constant along streamlines.
+            let v = taylor_green_velocity(x, 1.3);
+            let gpsi = [
+                (taylor_green_invariant([x[0] + h, x[1], x[2]])
+                    - taylor_green_invariant([x[0] - h, x[1], x[2]]))
+                    / (2.0 * h),
+                (taylor_green_invariant([x[0], x[1] + h, x[2]])
+                    - taylor_green_invariant([x[0], x[1] - h, x[2]]))
+                    / (2.0 * h),
+                0.0,
+            ];
+            let adv = v[0] * gpsi[0] + v[1] * gpsi[1];
+            assert!(adv.abs() < 1e-8, "v·∇ψ = {adv}");
+        }
+    }
+
+    #[test]
+    fn shear_transport_solves_the_advection_equation() {
+        // ∂t u + v·∇u = 0 with u(t,x) = f(x0 − t a sin x1, x1, x2):
+        // check the PDE residual by finite differences in t and x.
+        let f = |x: [f64; 3]| (x[0]).sin() * (2.0 * x[1]).cos() + x[2].cos();
+        let a = 0.7;
+        let (t, h) = (0.3, 1e-5);
+        let mut rng = Rng::new(5);
+        for _ in 0..30 {
+            let x = rng.point_2pi();
+            let u = |t: f64, x: [f64; 3]| shear_transported(f, a, t, x);
+            let ut = (u(t + h, x) - u(t - h, x)) / (2.0 * h);
+            let ux = (u(t, [x[0] + h, x[1], x[2]]) - u(t, [x[0] - h, x[1], x[2]])) / (2.0 * h);
+            let uy = (u(t, [x[0], x[1] + h, x[2]]) - u(t, [x[0], x[1] - h, x[2]])) / (2.0 * h);
+            let v = shear_velocity(x, a);
+            let residual = ut + v[0] * ux + v[1] * uy;
+            assert!(residual.abs() < 1e-5, "PDE residual {residual}");
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_shift_relation() {
+        let p = GaussianPair::new([0.4, -0.2, 0.1], 0.8);
+        let mut rng = Rng::new(8);
+        for _ in 0..50 {
+            let x = rng.point_2pi();
+            let shifted =
+                [x[0] + p.shift[0], x[1] + p.shift[1], x[2] + p.shift[2]];
+            assert!((p.reference(shifted) - p.template(x)).abs() < 1e-14);
+        }
+        // Periodicity of the bump.
+        let x = [0.1, 6.0, 3.0];
+        assert!((p.template([x[0] + TAU, x[1], x[2]]) - p.template(x)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fd_directional_differentiates_quadratics_exactly() {
+        let d = fd_directional(|e| 3.0 * e * e + 2.0 * e + 1.0, 1e-3);
+        assert!((d - 2.0).abs() < 1e-10, "{d}");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let a = [3.0, 4.0];
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(dot(&a, &[1.0, 2.0]), 11.0);
+        assert_eq!(max_abs_diff(&a, &[3.5, 4.0]), 0.5);
+        assert_eq!(adjoint_asymmetry(1.0, 1.0, 5.0, 2.0), 0.0);
+    }
+}

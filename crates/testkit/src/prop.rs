@@ -1,0 +1,208 @@
+//! A miniature property-testing layer: N seeded cases, shrink-by-halving,
+//! failing-seed reporting. This replaced `proptest` so the workspace needs
+//! no external dependencies.
+//!
+//! The model is deliberately simple: a property is a closure over an
+//! [`Rng`]; it *generates its own inputs* from the generator and asserts
+//! with the standard macros. The harness supplies a deterministic seed per
+//! case, catches panics, and on failure re-runs the same seed at halved
+//! input sizes (via [`Rng::size`]/[`Rng::len_scaled`]) to report the
+//! smallest size that still fails.
+//!
+//! Replaying a failure is one environment variable:
+//!
+//! ```text
+//! TESTKIT_SEED=0xdeadbeef [TESTKIT_SIZE=0.25] cargo test -p <crate> <test>
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Runs `cases` seeded cases of property `f`, shrinking on failure.
+///
+/// Prefer the [`crate::prop_check!`] macro, which fills in the property
+/// name. Panics (failing the enclosing `#[test]`) on the first failing
+/// case, after shrinking, with a replay recipe in the message.
+pub fn run_prop<F: FnMut(&mut Rng)>(name: &str, cases: usize, f: F) {
+    let mut f = AssertUnwindSafe(f);
+    // Single-case replay mode.
+    if let Some(seed) = env_u64("TESTKIT_SEED") {
+        let size = env_f64("TESTKIT_SIZE").unwrap_or(1.0);
+        eprintln!("[testkit] {name}: replaying single case seed={seed:#x} size={size}");
+        let mut rng = Rng::with_size(seed, size);
+        (f.0)(&mut rng);
+        return;
+    }
+    let cases = env_usize("TESTKIT_CASES").unwrap_or(cases).max(1);
+    let base = base_seed(name);
+    for case in 0..cases {
+        let seed = splitmix64(base.wrapping_add(case as u64));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::with_size(seed, 1.0);
+            (f.0)(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            // Shrink by halving: find the smallest size at which the same
+            // seed still fails, keeping the *last* failing payload.
+            let mut fail_size = 1.0f64;
+            let mut fail_payload = payload;
+            let mut size = 0.5f64;
+            while size >= 1.0 / 1024.0 {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let mut rng = Rng::with_size(seed, size);
+                    (f.0)(&mut rng);
+                }));
+                match attempt {
+                    Err(p) => {
+                        fail_size = size;
+                        fail_payload = p;
+                        size *= 0.5;
+                    }
+                    Ok(()) => break,
+                }
+            }
+            // `&*`: deref the Box so we downcast the payload itself, not
+            // the `Box<dyn Any>` (which is itself `Any`).
+            let msg = payload_message(&*fail_payload);
+            panic!(
+                "prop_check `{name}` failed: case {case}/{cases} seed={seed:#x} \
+                 (smallest failing size {fail_size})\n  assertion: {msg}\n  replay: \
+                 TESTKIT_SEED={seed:#x} TESTKIT_SIZE={fail_size} cargo test {short}",
+                short = name.rsplit("::").next().unwrap_or(name),
+            );
+        }
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Stable 64-bit hash of the property name (FNV-1a, then mixed).
+fn base_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Runs a property over `N` seeded cases; shrinks and reports the failing
+/// seed on error.
+///
+/// ```
+/// use diffreg_testkit::prop_check;
+///
+/// prop_check!(|rng| {
+///     let x = rng.uniform(-10.0, 10.0);
+///     assert!((x.abs()).sqrt().powi(2) - x.abs() < 1e-9);
+/// });
+///
+/// prop_check!(cases = 16, |rng| {
+///     let n = rng.len_scaled(1, 32);
+///     assert_eq!(rng.vec_uniform(n, 0.0, 1.0).len(), n);
+/// });
+/// ```
+#[macro_export]
+macro_rules! prop_check {
+    (cases = $cases:expr, |$rng:ident| $body:expr) => {
+        $crate::prop::run_prop(
+            concat!(module_path!(), "::", line!()),
+            $cases,
+            |$rng: &mut $crate::Rng| {
+                $body
+            },
+        )
+    };
+    (|$rng:ident| $body:expr) => {
+        $crate::prop_check!(cases = $crate::prop::DEFAULT_CASES, |$rng| $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        run_prop("testkit::count", 17, |rng| {
+            let _ = rng.next_f64();
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("testkit::fails", 8, |rng| {
+                // Fails regardless of input: shrinker must bottom out at the
+                // minimum size and the report must carry the replay recipe.
+                let n = rng.len_scaled(1, 1000);
+                assert!(n == 0, "n was {n}");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = *err.downcast::<String>().unwrap();
+        assert!(msg.contains("seed=0x"), "no seed in: {msg}");
+        assert!(msg.contains("n was"), "inner assertion message lost: {msg}");
+        assert!(msg.contains("TESTKIT_SEED="), "no replay recipe in: {msg}");
+        assert!(msg.contains("size 0.0009765625"), "did not shrink to min: {msg}");
+    }
+
+    #[test]
+    fn shrink_reports_smallest_failing_size() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("testkit::shrinks", 4, |rng| {
+                // Fails only for large inputs: the shrinker halves the size
+                // until the property passes, reporting the last failure.
+                let n = rng.len_scaled(1, 1000);
+                assert!(n <= 40, "too big: {n}");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = *err.downcast::<String>().unwrap();
+        // The smallest failing size is strictly below 1.0 (full size fails,
+        // tiny sizes pass, so shrinking made progress).
+        assert!(!msg.contains("failing size 1)"), "no shrink progress: {msg}");
+    }
+
+    #[test]
+    fn seeded_cases_are_reproducible() {
+        let mut first: Vec<f64> = Vec::new();
+        run_prop("testkit::repro", 5, |rng| first.push(rng.next_f64()));
+        let mut second: Vec<f64> = Vec::new();
+        run_prop("testkit::repro", 5, |rng| second.push(rng.next_f64()));
+        assert_eq!(first, second);
+    }
+}
