@@ -14,6 +14,24 @@
 //! harness can report communication volume and apply the paper's
 //! latency/bandwidth performance model to project cluster-scale timings.
 //!
+//! ## Fault tolerance
+//!
+//! Long multi-node registration runs need a runtime that *survives and
+//! diagnoses* faults deterministically (cf. the hardened CLAIRE solvers).
+//! This crate provides (see README "Fault model & runbook"):
+//!
+//! * structured [`CommError`]s and fallible `try_*` variants of the blocking
+//!   calls, instead of opaque panics;
+//! * a watchdog (`DIFFREG_COMM_TIMEOUT_MS`) that turns deadlocks into
+//!   [`CommError::Timeout`] reports carrying a who-waits-on-whom table;
+//! * a collective-contract checker (on under `debug_assertions`, env
+//!   `DIFFREG_COMM_CONTRACT`) that reports mismatched collective ordering
+//!   across ranks as [`CommError::ContractViolation`];
+//! * [`run_threaded_checked`], which contains a panicking rank as a
+//!   [`RankFailure`] and unblocks its peers;
+//! * [`ChaosComm`], a seeded chaos-injection decorator (latency, tag-safe
+//!   reordering, stalls, kills) for deterministic fault drills.
+//!
 //! ```
 //! use diffreg_comm::{run_threaded, Comm};
 //!
@@ -23,12 +41,16 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
+mod error;
 mod serial;
 mod stats;
 mod threaded;
 mod traits;
 
+pub use chaos::{ChaosComm, ChaosConfig};
+pub use error::{tag_display, CollOp, CommError, RankFailure, TAG_INTERNAL};
 pub use serial::SerialComm;
 pub use stats::{CommStats, Timers};
-pub use threaded::{run_threaded, ThreadComm};
+pub use threaded::{run_threaded, run_threaded_checked, ThreadComm};
 pub use traits::{Comm, CommData, ReduceOp};

@@ -7,31 +7,205 @@
 //! shared memory, with per-rank traffic counters so the benchmark harness
 //! can report communication volume and apply the paper's latency/bandwidth
 //! model.
+//!
+//! ## Fault tolerance
+//!
+//! Three hardening layers live here (see README "Fault model & runbook"):
+//!
+//! * **Watchdog** — every blocking receive and barrier honors an optional
+//!   timeout (env `DIFFREG_COMM_TIMEOUT_MS`, or [`ThreadComm::set_timeout`]).
+//!   On expiry the call returns [`CommError::Timeout`] carrying a
+//!   who-waits-on-whom table snapshotted from the communicator's shared
+//!   blocked-state registry, instead of deadlocking the run.
+//! * **Collective-contract checker** — on by default under
+//!   `debug_assertions` (override with env `DIFFREG_COMM_CONTRACT=0|1` or
+//!   [`ThreadComm::set_contract_checking`]). Every collective stamps its
+//!   internal messages with an op fingerprint and a per-communicator epoch;
+//!   ranks calling collectives in different orders are reported as a precise
+//!   [`CommError::ContractViolation`] instead of a type-mismatch panic deep
+//!   inside `recv`.
+//! * **Rank-failure containment** — [`run_threaded_checked`] catches a
+//!   panicking rank, converts it into a [`RankFailure`] report, poisons the
+//!   barrier and drops the rank's endpoints so blocked peers observe
+//!   [`CommError::PeerGone`] instead of hanging forever.
 
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
+use crate::error::{tag_display, CollOp, CommError, RankFailure, EPOCH_MASK, OP_SHIFT, TAG_INTERNAL};
 use crate::stats::CommStats;
 use crate::traits::{Comm, CommData, ReduceOp};
 
-type Msg = (u64, usize, Box<dyn Any + Send>);
+/// A message on the wire: tag, payload byte count, element type name, payload.
+type Msg = (u64, usize, &'static str, Box<dyn Any + Send>);
 
 /// Out-of-order buffer entries awaiting a matching-tag receive.
-type PendingQueue = VecDeque<(u64, usize, Box<dyn Any + Send>)>;
+type PendingQueue = VecDeque<Msg>;
 
-/// Reserved tag space for internal protocol messages (splits, collectives).
-const TAG_INTERNAL: u64 = 1 << 60;
+/// True if `tag` carries a collective op fingerprint (contract checking on).
+fn is_stamped(tag: u64) -> bool {
+    tag >= TAG_INTERNAL && ((tag & !TAG_INTERNAL) >> OP_SHIFT) != 0
+}
+
+/// What a rank is currently blocked on, for the watchdog's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockedOn {
+    /// Not blocked inside the communicator.
+    Running,
+    /// Blocked in `recv(src, tag)`.
+    Recv { src: usize, tag: u64 },
+    /// Blocked in `barrier`.
+    Barrier,
+    /// The rank's closure panicked ([`run_threaded_checked`] containment).
+    Dead,
+}
+
+/// Shared per-communicator blocked-state registry (one slot per rank).
+struct Registry {
+    slots: Mutex<Vec<BlockedOn>>,
+}
+
+impl Registry {
+    fn new(size: usize) -> Arc<Self> {
+        Arc::new(Self { slots: Mutex::new(vec![BlockedOn::Running; size]) })
+    }
+
+    fn set(&self, rank: usize, state: BlockedOn) {
+        self.slots.lock().unwrap()[rank] = state;
+    }
+
+    /// Renders the who-waits-on-whom table, one line per rank.
+    fn table(&self) -> Vec<String> {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(r, s)| match s {
+                BlockedOn::Running => format!("rank {r}: running (not blocked in comm)"),
+                BlockedOn::Recv { src, tag } => {
+                    format!("rank {r}: blocked in recv(src={src}, tag={})", tag_display(*tag))
+                }
+                BlockedOn::Barrier => format!("rank {r}: blocked in barrier"),
+                BlockedOn::Dead => format!("rank {r}: dead (panicked)"),
+            })
+            .collect()
+    }
+}
+
+/// Why a [`SharedBarrier::wait`] did not complete normally.
+enum BarrierFail {
+    /// A peer poisoned the barrier (its closure panicked); carries its rank.
+    Poisoned(usize),
+    /// The watchdog timeout expired before all ranks arrived.
+    TimedOut,
+}
+
+/// A poisonable, timeout-aware replacement for `std::sync::Barrier`.
+///
+/// `std::sync::Barrier` can neither time out nor be poisoned, so a single
+/// dead rank would strand every peer inside `wait()` forever. This one backs
+/// out cleanly on timeout and wakes all waiters on poison.
+struct SharedBarrier {
+    n: usize,
+    state: Mutex<BarState>,
+    cv: Condvar,
+}
+
+struct BarState {
+    count: usize,
+    generation: u64,
+    poisoned: Option<usize>,
+}
+
+impl SharedBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(BarState { count: 0, generation: 0, poisoned: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, timeout: Option<Duration>) -> Result<(), BarrierFail> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(r) = st.poisoned {
+            return Err(BarrierFail::Poisoned(r));
+        }
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if st.generation != gen {
+                return Ok(());
+            }
+            if let Some(r) = st.poisoned {
+                st.count = st.count.saturating_sub(1);
+                return Err(BarrierFail::Poisoned(r));
+            }
+            match deadline {
+                None => st = self.cv.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Back out so a later complete barrier still works.
+                        st.count = st.count.saturating_sub(1);
+                        return Err(BarrierFail::TimedOut);
+                    }
+                    st = self.cv.wait_timeout(st, d - now).unwrap().0;
+                }
+            }
+        }
+    }
+
+    /// Marks the barrier poisoned by `rank` and wakes all waiters.
+    fn poison(&self, rank: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned.is_none() {
+            st.poisoned = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Default watchdog timeout from `DIFFREG_COMM_TIMEOUT_MS` (0/unset = off).
+fn default_timeout() -> Option<Duration> {
+    static CACHE: OnceLock<Option<Duration>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DIFFREG_COMM_TIMEOUT_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}
+
+/// Default contract-checking flag: `DIFFREG_COMM_CONTRACT=0|1` if set, else
+/// on exactly when `debug_assertions` are on.
+fn default_contract() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("DIFFREG_COMM_CONTRACT") {
+        Ok(v) => v.trim() != "0",
+        Err(_) => cfg!(debug_assertions),
+    })
+}
 
 /// One rank's endpoint of a simulated MPI communicator.
 ///
-/// Created by [`run_threaded`] (the world communicator) or [`Comm::split`].
-/// The endpoint is `Send` so it can be moved into its rank's thread, but it
-/// is not `Sync`: each rank owns its endpoint exclusively, exactly like an
-/// MPI process owns `MPI_COMM_WORLD`.
+/// Created by [`run_threaded`] / [`run_threaded_checked`] (the world
+/// communicator) or [`Comm::split`]. The endpoint is `Send` so it can be
+/// moved into its rank's thread, but it is not `Sync`: each rank owns its
+/// endpoint exclusively, exactly like an MPI process owns `MPI_COMM_WORLD`.
 pub struct ThreadComm {
     rank: usize,
     size: usize,
@@ -39,8 +213,15 @@ pub struct ThreadComm {
     receivers: Vec<Receiver<Msg>>,
     /// Out-of-order buffer per source rank for tag matching.
     pending: RefCell<Vec<PendingQueue>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<SharedBarrier>,
+    registry: Arc<Registry>,
     stats: RefCell<CommStats>,
+    /// Collective epoch counter (contract checker).
+    epoch: Cell<u64>,
+    /// Watchdog timeout for receives and barriers (None = wait forever).
+    timeout: Cell<Option<Duration>>,
+    /// Whether collective messages carry op/epoch fingerprints.
+    contract: Cell<bool>,
 }
 
 impl std::fmt::Debug for ThreadComm {
@@ -56,7 +237,8 @@ struct Package {
     size: usize,
     senders: Vec<Sender<Msg>>,
     receivers: Vec<Receiver<Msg>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<SharedBarrier>,
+    registry: Arc<Registry>,
 }
 
 fn make_channel_matrix(size: usize) -> Vec<Package> {
@@ -72,7 +254,8 @@ fn make_channel_matrix(size: usize) -> Vec<Package> {
             let _ = dst;
         }
     }
-    let barrier = Arc::new(Barrier::new(size));
+    let barrier = Arc::new(SharedBarrier::new(size));
+    let registry = Registry::new(size);
     tx.into_iter()
         .zip(rx)
         .enumerate()
@@ -82,6 +265,7 @@ fn make_channel_matrix(size: usize) -> Vec<Package> {
             senders,
             receivers: receivers.into_iter().map(Option::unwrap).collect(),
             barrier: barrier.clone(),
+            registry: registry.clone(),
         })
         .collect()
 }
@@ -96,8 +280,39 @@ impl ThreadComm {
             receivers: p.receivers,
             pending: RefCell::new((0..size).map(|_| VecDeque::new()).collect()),
             barrier: p.barrier,
+            registry: p.registry,
             stats: RefCell::new(CommStats::default()),
+            epoch: Cell::new(0),
+            timeout: Cell::new(default_timeout()),
+            contract: Cell::new(default_contract()),
         }
+    }
+
+    /// Sets the watchdog timeout for receives and barriers (`None` = wait
+    /// forever). Must be called *collectively* (same value on every rank)
+    /// before the ranks exchange traffic; defaults to
+    /// `DIFFREG_COMM_TIMEOUT_MS` from the environment.
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        self.timeout.set(timeout);
+    }
+
+    /// Current watchdog timeout.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout.get()
+    }
+
+    /// Enables/disables the collective-contract checker. Must be called
+    /// *collectively* (same value on every rank) before any collective;
+    /// mixing checked and unchecked ranks is itself a contract violation.
+    /// Defaults to on under `debug_assertions`, overridable with
+    /// `DIFFREG_COMM_CONTRACT=0|1`.
+    pub fn set_contract_checking(&self, on: bool) {
+        self.contract.set(on);
+    }
+
+    /// Whether collective messages carry op/epoch fingerprints.
+    pub fn contract_checking(&self) -> bool {
+        self.contract.get()
     }
 
     fn record_send(&self, bytes: usize) {
@@ -113,24 +328,151 @@ impl ThreadComm {
         r
     }
 
-    fn recv_raw(&self, src: usize, tag: u64) -> Box<dyn Any + Send> {
+    /// Advances the collective epoch; returns the epoch of this collective.
+    fn bump_epoch(&self) -> u64 {
+        let e = self.epoch.get().wrapping_add(1);
+        self.epoch.set(e);
+        e
+    }
+
+    /// The wire tag for a collective message. With contract checking on the
+    /// tag carries the op fingerprint and epoch; off, it is the legacy
+    /// `TAG_INTERNAL + op` constant (byte-identical to the original runtime).
+    fn coll_tag(&self, op: CollOp, epoch: u64) -> u64 {
+        if self.contract.get() {
+            TAG_INTERNAL | ((op as u64) << OP_SHIFT) | (epoch & EPOCH_MASK)
+        } else {
+            TAG_INTERNAL + op as u64
+        }
+    }
+
+    /// Receives the raw payload for `(src, tag)`. The *entire* call — pending
+    /// scan included — is accounted to `blocked_seconds`.
+    fn try_recv_raw(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Result<(usize, &'static str, Box<dyn Any + Send>), CommError> {
         assert!(src < self.size, "recv from out-of-range rank {src}");
+        let t0 = Instant::now();
+        let r = self.recv_raw_inner(src, tag);
+        self.stats.borrow_mut().blocked_seconds += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    fn recv_raw_inner(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Result<(usize, &'static str, Box<dyn Any + Send>), CommError> {
+        let expect_stamped = is_stamped(tag);
         {
             let mut pend = self.pending.borrow_mut();
-            if let Some(pos) = pend[src].iter().position(|(t, _, _)| *t == tag) {
-                let (_, _, payload) = pend[src].remove(pos).unwrap();
-                return payload;
+            if let Some(pos) = pend[src].iter().position(|m| m.0 == tag) {
+                let (_, bytes, name, payload) = pend[src].remove(pos).unwrap();
+                return Ok((bytes, name, payload));
+            }
+            if expect_stamped {
+                // Channels are FIFO per (src, dst) and collectives execute in
+                // program order, so a buffered *collective* message from this
+                // src with a different fingerprint means the ranks' collective
+                // sequences diverged.
+                if let Some(m) = pend[src].iter().find(|m| is_stamped(m.0)) {
+                    return Err(CommError::ContractViolation {
+                        rank: self.rank,
+                        src,
+                        expected: tag_display(tag),
+                        observed: tag_display(m.0),
+                    });
+                }
             }
         }
-        loop {
-            let (t, _bytes, payload) = self.blocking(|| {
-                self.receivers[src].recv().expect("peer rank hung up (thread panicked?)")
-            });
-            if t == tag {
-                return payload;
+        self.registry.set(self.rank, BlockedOn::Recv { src, tag });
+        let deadline = self.timeout.get().map(|t| Instant::now() + t);
+        let result = loop {
+            let msg = match deadline {
+                None => match self.receivers[src].recv() {
+                    Ok(m) => m,
+                    Err(_) => break Err(CommError::PeerGone { rank: self.rank, peer: src }),
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break Err(CommError::Timeout {
+                            rank: self.rank,
+                            waiting_on: format!("recv(src={src}, tag={})", tag_display(tag)),
+                            table: self.registry.table(),
+                        });
+                    }
+                    match self.receivers[src].recv_timeout(d - now) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            break Err(CommError::PeerGone { rank: self.rank, peer: src })
+                        }
+                    }
+                }
+            };
+            if msg.0 == tag {
+                break Ok((msg.1, msg.2, msg.3));
             }
-            self.pending.borrow_mut()[src].push_back((t, _bytes, payload));
+            if expect_stamped && is_stamped(msg.0) {
+                break Err(CommError::ContractViolation {
+                    rank: self.rank,
+                    src,
+                    expected: tag_display(tag),
+                    observed: tag_display(msg.0),
+                });
+            }
+            self.pending.borrow_mut()[src].push_back(msg);
+        };
+        self.registry.set(self.rank, BlockedOn::Running);
+        result
+    }
+
+    fn try_allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) -> Result<(), CommError> {
+        let e = self.bump_epoch();
+        if self.size == 1 {
+            return Ok(());
         }
+        let send_tag = self.coll_tag(CollOp::ReduceUsizeSend, e);
+        let result_tag = self.coll_tag(CollOp::ReduceUsizeResult, e);
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size {
+                let part: Vec<usize> = self.try_recv(src, send_tag)?;
+                if part.len() != acc.len() {
+                    return Err(CommError::LengthMismatch {
+                        rank: self.rank,
+                        src: Some(src),
+                        what: "allreduce_usize contribution",
+                        expected: acc.len(),
+                        got: part.len(),
+                    });
+                }
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply_usize(*a, b);
+                }
+            }
+            for dst in 1..self.size {
+                self.try_send(dst, result_tag, acc.clone())?;
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.try_send(0, send_tag, vals.to_vec())?;
+            let acc: Vec<usize> = self.try_recv(0, result_tag)?;
+            if acc.len() != vals.len() {
+                return Err(CommError::LengthMismatch {
+                    rank: self.rank,
+                    src: Some(0),
+                    what: "allreduce_usize result",
+                    expected: vals.len(),
+                    got: acc.len(),
+                });
+            }
+            vals.copy_from_slice(&acc);
+        }
+        Ok(())
     }
 }
 
@@ -146,70 +488,117 @@ impl Comm for ThreadComm {
     }
 
     fn barrier(&self) {
-        self.blocking(|| {
-            self.barrier.wait();
-        });
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.bump_epoch();
+        let timeout = self.timeout.get();
+        self.registry.set(self.rank, BlockedOn::Barrier);
+        let res = self.blocking(|| self.barrier.wait(timeout));
+        self.registry.set(self.rank, BlockedOn::Running);
+        match res {
+            Ok(()) => Ok(()),
+            Err(BarrierFail::Poisoned(peer)) => {
+                Err(CommError::PeerGone { rank: self.rank, peer })
+            }
+            Err(BarrierFail::TimedOut) => Err(CommError::Timeout {
+                rank: self.rank,
+                waiting_on: "barrier".into(),
+                table: self.registry.table(),
+            }),
+        }
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.try_send(dst, tag, data).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) -> Result<(), CommError> {
         assert!(dst < self.size, "send to out-of-range rank {dst}");
         let bytes = data.len() * std::mem::size_of::<T>();
         if dst != self.rank {
             self.record_send(bytes);
         }
-        self.senders[dst].send((tag, bytes, Box::new(data))).expect("peer rank hung up");
+        self.senders[dst]
+            .send((tag, bytes, std::any::type_name::<T>(), Box::new(data)))
+            .map_err(|_| CommError::PeerGone { rank: self.rank, peer: dst })
     }
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
-        let payload = self.recv_raw(src, tag);
-        *payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-            panic!(
-                "recv type mismatch from rank {src} tag {tag}: expected Vec<{}>",
-                std::any::type_name::<T>()
-            )
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_recv<T: CommData>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        let (bytes, name, payload) = self.try_recv_raw(src, tag)?;
+        payload.downcast::<Vec<T>>().map(|b| *b).map_err(|_| CommError::TypeMismatch {
+            rank: self.rank,
+            src,
+            tag,
+            expected: std::any::type_name::<T>(),
+            found: name,
+            found_bytes: bytes,
         })
     }
 
     fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
+        let e = self.bump_epoch();
         if self.size == 1 {
             return;
         }
+        let tag = self.coll_tag(CollOp::Broadcast, e);
         if self.rank == root {
             for dst in 0..self.size {
                 if dst != root {
-                    self.send(dst, TAG_INTERNAL + 1, data.clone());
+                    self.send(dst, tag, data.clone());
                 }
             }
         } else {
-            *data = self.recv(root, TAG_INTERNAL + 1);
+            *data = self.recv(root, tag);
         }
     }
 
     fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let e = self.bump_epoch();
+        let tag = self.coll_tag(CollOp::Allgather, e);
         let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
         for dst in 0..self.size {
             if dst != self.rank {
-                self.send(dst, TAG_INTERNAL + 2, data.clone());
+                self.send(dst, tag, data.clone());
             }
         }
         for src in 0..self.size {
             if src == self.rank {
                 out.push(data.clone());
             } else {
-                out.push(self.recv(src, TAG_INTERNAL + 2));
+                out.push(self.recv(src, tag));
             }
         }
         out
     }
 
     fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(parts.len(), self.size, "alltoallv needs one part per rank");
+        self.try_alltoallv(parts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
+        let e = self.bump_epoch();
+        if parts.len() != self.size {
+            return Err(CommError::LengthMismatch {
+                rank: self.rank,
+                src: None,
+                what: "alltoallv part count",
+                expected: self.size,
+                got: parts.len(),
+            });
+        }
+        let tag = self.coll_tag(CollOp::Alltoallv, e);
         let mut own: Option<Vec<T>> = None;
         for (dst, part) in parts.into_iter().enumerate() {
             if dst == self.rank {
                 own = Some(part);
             } else {
-                self.send(dst, TAG_INTERNAL + 3, part);
+                self.try_send(dst, tag, part)?;
             }
         }
         let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
@@ -217,58 +606,63 @@ impl Comm for ThreadComm {
             if src == self.rank {
                 out.push(own.take().unwrap());
             } else {
-                out.push(self.recv(src, TAG_INTERNAL + 3));
+                out.push(self.try_recv(src, tag)?);
             }
         }
-        out
+        Ok(out)
     }
 
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        self.try_allreduce(vals, op).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_allreduce(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        let e = self.bump_epoch();
         if self.size == 1 {
-            return;
+            return Ok(());
         }
+        let send_tag = self.coll_tag(CollOp::ReduceSend, e);
+        let result_tag = self.coll_tag(CollOp::ReduceResult, e);
         if self.rank == 0 {
             let mut acc = vals.to_vec();
             for src in 1..self.size {
-                let part: Vec<f64> = self.recv(src, TAG_INTERNAL + 4);
-                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                let part: Vec<f64> = self.try_recv(src, send_tag)?;
+                if part.len() != acc.len() {
+                    return Err(CommError::LengthMismatch {
+                        rank: self.rank,
+                        src: Some(src),
+                        what: "allreduce contribution",
+                        expected: acc.len(),
+                        got: part.len(),
+                    });
+                }
                 for (a, b) in acc.iter_mut().zip(part) {
                     *a = op.apply(*a, b);
                 }
             }
             for dst in 1..self.size {
-                self.send(dst, TAG_INTERNAL + 5, acc.clone());
+                self.try_send(dst, result_tag, acc.clone())?;
             }
             vals.copy_from_slice(&acc);
         } else {
-            self.send(0, TAG_INTERNAL + 4, vals.to_vec());
-            let acc: Vec<f64> = self.recv(0, TAG_INTERNAL + 5);
+            self.try_send(0, send_tag, vals.to_vec())?;
+            let acc: Vec<f64> = self.try_recv(0, result_tag)?;
+            if acc.len() != vals.len() {
+                return Err(CommError::LengthMismatch {
+                    rank: self.rank,
+                    src: Some(0),
+                    what: "allreduce result",
+                    expected: vals.len(),
+                    got: acc.len(),
+                });
+            }
             vals.copy_from_slice(&acc);
         }
+        Ok(())
     }
 
     fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
-        if self.size == 1 {
-            return;
-        }
-        if self.rank == 0 {
-            let mut acc = vals.to_vec();
-            for src in 1..self.size {
-                let part: Vec<usize> = self.recv(src, TAG_INTERNAL + 6);
-                assert_eq!(part.len(), acc.len());
-                for (a, b) in acc.iter_mut().zip(part) {
-                    *a = op.apply_usize(*a, b);
-                }
-            }
-            for dst in 1..self.size {
-                self.send(dst, TAG_INTERNAL + 7, acc.clone());
-            }
-            vals.copy_from_slice(&acc);
-        } else {
-            self.send(0, TAG_INTERNAL + 6, vals.to_vec());
-            let acc: Vec<usize> = self.recv(0, TAG_INTERNAL + 7);
-            vals.copy_from_slice(&acc);
-        }
+        self.try_allreduce_usize(vals, op).unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn split(&self, color: usize, key: usize) -> ThreadComm {
@@ -281,6 +675,15 @@ impl Comm for ThreadComm {
         group.sort_by_key(|&(_, k, r)| (k, r));
         let my_new_rank = group.iter().position(|&(_, _, r)| r == self.rank).unwrap();
         let leader_old_rank = group[0].2;
+        // Every rank bumps the Split epoch, senders and receivers alike, so
+        // the epoch counters stay aligned across the communicator.
+        let e = self.bump_epoch();
+        let tag = self.coll_tag(CollOp::Split, e);
+        let inherit = |sub: ThreadComm| {
+            sub.timeout.set(self.timeout.get());
+            sub.contract.set(self.contract.get());
+            sub
+        };
         if my_new_rank == 0 {
             let mut packages = make_channel_matrix(group.len());
             // Hand out packages to the other members in reverse so that
@@ -289,14 +692,14 @@ impl Comm for ThreadComm {
                 let pkg = packages.pop().unwrap();
                 debug_assert_eq!(pkg.rank, new_rank);
                 if new_rank == 0 {
-                    return ThreadComm::from_package(pkg);
+                    return inherit(ThreadComm::from_package(pkg));
                 }
-                self.send(old_rank, TAG_INTERNAL + 8, vec![pkg]);
+                self.send(old_rank, tag, vec![pkg]);
             }
             unreachable!("leader always returns its own package");
         } else {
-            let mut pkgs: Vec<Package> = self.recv(leader_old_rank, TAG_INTERNAL + 8);
-            ThreadComm::from_package(pkgs.pop().unwrap())
+            let mut pkgs: Vec<Package> = self.recv(leader_old_rank, tag);
+            inherit(ThreadComm::from_package(pkgs.pop().unwrap()))
         }
     }
 
@@ -309,10 +712,23 @@ impl Comm for ThreadComm {
     }
 }
 
+/// Renders a caught panic payload as text.
+fn payload_text(p: Box<dyn Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".into(),
+        },
+    }
+}
+
 /// Runs an SPMD closure on `p` ranks (one thread each) over a fresh world
 /// communicator, returning the per-rank results indexed by rank.
 ///
-/// This is the `mpirun -np p` of the simulated machine.
+/// This is the `mpirun -np p` of the simulated machine. A panicking rank
+/// panics the whole run (like MPI aborting the job); use
+/// [`run_threaded_checked`] to contain and report per-rank failures instead.
 pub fn run_threaded<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -332,6 +748,52 @@ where
         }
         for (slot, h) in results.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+/// Like [`run_threaded`], but with rank-failure containment: a panicking
+/// rank is caught and reported as a [`RankFailure`] in its result slot
+/// instead of tearing down the whole run.
+///
+/// On containment the failed rank's barrier participation is poisoned and
+/// its channel endpoints are dropped, so peers blocked on it observe
+/// [`CommError::PeerGone`] (possibly cascading into their own contained
+/// failures) rather than hanging forever. Ranks that complete normally
+/// return `Ok` — their results survive a peer's death.
+pub fn run_threaded_checked<R, F>(p: usize, f: F) -> Vec<Result<R, RankFailure>>
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let packages = make_channel_matrix(p);
+    let f = &f;
+    let mut results: Vec<Option<Result<R, RankFailure>>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for pkg in packages {
+            handles.push(scope.spawn(move || {
+                let comm = ThreadComm::from_package(pkg);
+                let rank = comm.rank;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                    Ok(r) => Ok(r),
+                    Err(payload) => {
+                        // Snapshot where the peers were *before* advertising
+                        // our own death, then unblock them.
+                        let context =
+                            format!("state at failure:\n  {}", comm.registry.table().join("\n  "));
+                        comm.registry.set(rank, BlockedOn::Dead);
+                        comm.barrier.poison(rank);
+                        drop(comm); // closes senders: blocked peers see PeerGone
+                        Err(RankFailure { rank, payload: payload_text(payload), context })
+                    }
+                }
+            }));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank thread panicked outside containment"));
         }
     });
     results.into_iter().map(Option::unwrap).collect()
@@ -465,6 +927,132 @@ mod tests {
             let left = (c.rank() + 2) % 3;
             let got = c.sendrecv(right, vec![c.rank()], left, 9);
             assert_eq!(got, vec![left]);
+        });
+    }
+
+    #[test]
+    fn collectives_work_with_contract_checking_forced_on() {
+        run_threaded(4, |c| {
+            c.set_contract_checking(true);
+            c.barrier();
+            let mut v = vec![c.rank() as f64];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            assert_eq!(v, vec![6.0]);
+            let g = c.allgather(vec![c.rank()]);
+            assert_eq!(g.len(), 4);
+            let sub = c.split(c.rank() % 2, c.rank() / 2);
+            assert!(sub.contract_checking());
+            assert_eq!(sub.sum_f64(1.0), 2.0);
+        });
+    }
+
+    #[test]
+    fn type_mismatch_carries_sender_byte_count() {
+        let out = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1u32, 2, 3]);
+                String::new()
+            } else {
+                let err = c.try_recv::<f64>(0, 3).unwrap_err();
+                err.to_string()
+            }
+        });
+        assert!(out[1].contains("12 bytes"), "{}", out[1]);
+        assert!(out[1].contains("Vec<f64>"), "{}", out[1]);
+        assert!(out[1].contains("u32"), "{}", out[1]);
+    }
+
+    #[test]
+    fn allreduce_length_mismatch_is_structured() {
+        let errs = run_threaded_checked(2, |c| {
+            c.set_contract_checking(false);
+            let mut v = if c.rank() == 0 { vec![0.0f64; 2] } else { vec![0.0f64; 3] };
+            c.allreduce(&mut v, ReduceOp::Sum);
+        });
+        // Rank 0 detects the bad contribution length from rank 1.
+        let failure = errs[0].as_ref().unwrap_err();
+        assert!(failure.payload.contains("length mismatch"), "{}", failure.payload);
+        assert!(failure.payload.contains("expected 2, got 3"), "{}", failure.payload);
+    }
+
+    #[test]
+    fn checked_run_contains_single_rank_panic() {
+        let out = run_threaded_checked(4, |c| {
+            c.set_timeout(Some(Duration::from_secs(5)));
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+            if c.rank() == 3 {
+                // Blocks on the dead rank: must observe PeerGone, not hang.
+                let _: Vec<u8> = c.recv(1, 42);
+            }
+            c.rank()
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[2].as_ref().unwrap(), 2);
+        let f1 = out[1].as_ref().unwrap_err();
+        assert_eq!(f1.rank, 1);
+        assert_eq!(f1.payload, "boom");
+        let f3 = out[3].as_ref().unwrap_err();
+        assert_eq!(f3.rank, 3);
+        assert!(f3.payload.contains("peer rank 1 is gone"), "{}", f3.payload);
+    }
+
+    #[test]
+    fn barrier_poison_unblocks_peers() {
+        let out = run_threaded_checked(3, |c| {
+            if c.rank() == 2 {
+                panic!("dead before barrier");
+            }
+            c.barrier(); // must not hang: poisoned by rank 2
+        });
+        assert!(out[0].is_err() && out[1].is_err() && out[2].is_err());
+        assert!(out[0].as_ref().unwrap_err().payload.contains("peer rank 2 is gone"));
+    }
+
+    #[test]
+    fn watchdog_times_out_recv_with_table() {
+        let out = run_threaded(2, |c| {
+            // Timeouts are per-rank local state: rank 1 gets a short watchdog,
+            // rank 0 a generous one so it never fires first.
+            c.set_timeout(Some(if c.rank() == 1 {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(30)
+            }));
+            if c.rank() == 1 {
+                let err = c.try_recv::<u8>(0, 99).unwrap_err();
+                // Let rank 0 finish.
+                c.send(0, 1, vec![0u8]);
+                Some(err)
+            } else {
+                let _: Vec<u8> = c.recv(1, 1);
+                None
+            }
+        });
+        let err = out[1].clone().unwrap();
+        match &err {
+            CommError::Timeout { rank, waiting_on, table } => {
+                assert_eq!(*rank, 1);
+                assert!(waiting_on.contains("src=0"), "{waiting_on}");
+                assert_eq!(table.len(), 2);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(err.to_string().contains("blocked-rank table"));
+    }
+
+    #[test]
+    fn shared_barrier_timeout_backs_out() {
+        let b = SharedBarrier::new(2);
+        assert!(matches!(
+            b.wait(Some(Duration::from_millis(20))),
+            Err(BarrierFail::TimedOut)
+        ));
+        // After backing out, a complete barrier still works.
+        std::thread::scope(|s| {
+            s.spawn(|| b.wait(None).map_err(|_| ()).unwrap());
+            b.wait(None).map_err(|_| ()).unwrap();
         });
     }
 }

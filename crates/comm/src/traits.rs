@@ -1,6 +1,7 @@
 //! The communicator abstraction shared by the serial and the simulated
 //! distributed-memory backends.
 
+use crate::error::CommError;
 use crate::stats::CommStats;
 
 /// Marker bound for payload element types.
@@ -70,6 +71,40 @@ pub trait Comm: Sized {
     /// Not collective.
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T>;
 
+    /// Fallible variant of [`Comm::send`].
+    ///
+    /// Backends that can observe delivery failure (peer gone, watchdog)
+    /// override this; the default delegates to the infallible method.
+    fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) -> Result<(), CommError> {
+        self.send(dst, tag, data);
+        Ok(())
+    }
+
+    /// Fallible variant of [`Comm::recv`]: returns a structured
+    /// [`CommError`] (peer gone, type mismatch, watchdog timeout, contract
+    /// violation, serial deadlock) instead of panicking or hanging.
+    fn try_recv<T: CommData>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        Ok(self.recv(src, tag))
+    }
+
+    /// Fallible variant of [`Comm::barrier`] (watchdog-aware backends return
+    /// [`CommError::Timeout`] instead of blocking forever).
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.barrier();
+        Ok(())
+    }
+
+    /// Fallible variant of [`Comm::allreduce`].
+    fn try_allreduce(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        self.allreduce(vals, op);
+        Ok(())
+    }
+
+    /// Fallible variant of [`Comm::alltoallv`].
+    fn try_alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
+        Ok(self.alltoallv(parts))
+    }
+
     /// Combined exchange: sends `data` to `dst` and receives from `src`.
     fn sendrecv<T: CommData>(&self, dst: usize, data: Vec<T>, src: usize, tag: u64) -> Vec<T> {
         if dst == self.rank() && src == self.rank() {
@@ -126,5 +161,91 @@ pub trait Comm: Sized {
         let mut buf = [v];
         self.allreduce(&mut buf, ReduceOp::Min);
         buf[0]
+    }
+}
+
+/// A shared reference to a communicator is itself a communicator.
+///
+/// This lets decorators such as [`crate::ChaosComm`] own their inner handle
+/// even when the SPMD entry point (e.g. [`crate::run_threaded`]) only lends
+/// the closure a `&ThreadComm`. Splitting through a reference still yields an
+/// *owned* sub-communicator (`C::Sub`), so nested splits compose.
+impl<C: Comm> Comm for &C {
+    type Sub = C::Sub;
+
+    fn rank(&self) -> usize {
+        (**self).rank()
+    }
+
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+
+    fn barrier(&self) {
+        (**self).barrier()
+    }
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        (**self).send(dst, tag, data)
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        (**self).recv(src, tag)
+    }
+
+    fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) -> Result<(), CommError> {
+        (**self).try_send(dst, tag, data)
+    }
+
+    fn try_recv<T: CommData>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        (**self).try_recv(src, tag)
+    }
+
+    fn try_barrier(&self) -> Result<(), CommError> {
+        (**self).try_barrier()
+    }
+
+    fn try_allreduce(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        (**self).try_allreduce(vals, op)
+    }
+
+    fn try_alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
+        (**self).try_alltoallv(parts)
+    }
+
+    fn sendrecv<T: CommData>(&self, dst: usize, data: Vec<T>, src: usize, tag: u64) -> Vec<T> {
+        (**self).sendrecv(dst, data, src, tag)
+    }
+
+    fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
+        (**self).broadcast(root, data)
+    }
+
+    fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        (**self).allgather(data)
+    }
+
+    fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        (**self).alltoallv(parts)
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        (**self).allreduce(vals, op)
+    }
+
+    fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
+        (**self).allreduce_usize(vals, op)
+    }
+
+    fn split(&self, color: usize, key: usize) -> Self::Sub {
+        (**self).split(color, key)
+    }
+
+    fn stats(&self) -> CommStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&self) {
+        (**self).reset_stats()
     }
 }

@@ -108,6 +108,41 @@ fn split_partitions_world() {
     });
 }
 
+/// `blocked_seconds` must cover the *entire* receive path — including the
+/// pending-queue hit that never touches the channel — and barrier waits.
+#[test]
+fn blocked_seconds_accumulates_on_every_wait_path() {
+    let stats = run_threaded(2, |comm| {
+        if comm.rank() == 0 {
+            // Make rank 1 block ~50ms in the channel path, and give it a
+            // second message so its next receive is a pure pending-queue hit
+            // (tag 5 arrives while rank 1 is waiting for tag 6).
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            comm.send(1, 5, vec![1u8]);
+            comm.send(1, 6, vec![2u8]);
+        } else {
+            let _: Vec<u8> = comm.recv(0, 6); // blocks in the channel, buffers tag 5
+            let before = comm.stats().blocked_seconds;
+            assert!(before >= 0.040, "channel-blocking wait not accumulated: {before}");
+            comm.reset_stats();
+            let _: Vec<u8> = comm.recv(0, 5); // pending-queue hit
+            let pending_hit = comm.stats().blocked_seconds;
+            assert!(
+                pending_hit > 0.0,
+                "pending-queue hit path must also be accounted to blocked_seconds"
+            );
+        }
+        comm.reset_stats();
+        comm.barrier();
+        comm.stats()
+    });
+    // Barrier wait time is accumulated on at least the early-arriving rank.
+    assert!(
+        stats.iter().all(|s| s.blocked_seconds > 0.0),
+        "barrier wait must be accounted to blocked_seconds: {stats:?}"
+    );
+}
+
 /// The determinism contract of the test harness itself: the same seed must
 /// produce byte-identical data whether the field is generated serially or
 /// sharded across 2, 4, or 6 simulated ranks. Each rank derives its stream

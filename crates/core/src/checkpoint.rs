@@ -1,0 +1,324 @@
+//! Checkpoint/restart for the continuation driver.
+//!
+//! A [`SolverCheckpoint`] captures everything the Gauss-Newton-Krylov
+//! continuation loop needs to resume *bitwise identically* after a crash:
+//! the β-continuation level, the number of Newton iterations completed at
+//! that level, the level's reference gradient norm `‖g₀‖` (the Newton
+//! relative-tolerance anchor), and this rank's slab of the velocity iterate.
+//! Everything else the solver holds (state/adjoint trajectories, scatter
+//! plans, spectral symbols) is a pure function of the iterate and the
+//! inputs, and is rebuilt on resume — that is what makes the restart exact
+//! rather than approximate.
+//!
+//! Checkpoints are *per rank*: each rank serializes its local slab, so no
+//! extra communication happens on the checkpoint path and a restart must use
+//! the same grid and process decomposition (validated by [`SolverCheckpoint::
+//! velocity_field`]).
+//!
+//! [`CheckpointStore`] abstracts where the bytes go: `Disabled` (no-op),
+//! `Memory` (a shared map — what the tests and in-process retries use), or
+//! `File` (one file per rank, written atomically via a temp file + rename so
+//! a crash mid-write never corrupts the previous checkpoint).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use diffreg_grid::{Block, VectorField};
+
+/// Serialization magic ("DRCK") + format version.
+const MAGIC: &[u8; 4] = b"DRCK";
+const VERSION: u32 = 1;
+
+/// One rank's resumable snapshot of the continuation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverCheckpoint {
+    /// Index into the β schedule of the level being solved.
+    pub level: usize,
+    /// β of that level (consistency check on restore).
+    pub beta: f64,
+    /// Newton iterations already accepted at this level. `0` means the
+    /// level has not started: resume warm-starts it from `velocity` through
+    /// the ordinary (projecting) entry path.
+    pub completed_iters: usize,
+    /// The level's initial gradient norm (NaN when `completed_iters == 0`;
+    /// the fresh level recomputes it).
+    pub g0norm: f64,
+    /// This rank's local slab of the three velocity components.
+    pub velocity: [Vec<f64>; 3],
+}
+
+impl SolverCheckpoint {
+    /// Captures a checkpoint from a velocity iterate.
+    pub fn capture(
+        level: usize,
+        beta: f64,
+        completed_iters: usize,
+        g0norm: f64,
+        v: &VectorField,
+    ) -> Self {
+        let velocity =
+            [v.comps[0].data().to_vec(), v.comps[1].data().to_vec(), v.comps[2].data().to_vec()];
+        Self { level, beta, completed_iters, g0norm, velocity }
+    }
+
+    /// Reconstructs the velocity iterate on `block`. Panics if the
+    /// checkpointed slab length does not match the block (i.e. the restart
+    /// uses a different grid or decomposition than the checkpoint).
+    pub fn velocity_field(&self, block: Block) -> VectorField {
+        assert_eq!(
+            self.velocity[0].len(),
+            block.len(),
+            "checkpoint slab length does not match this rank's block: the \
+             restart must use the same grid and process decomposition"
+        );
+        let mut v = VectorField::zeros(block);
+        for c in 0..3 {
+            v.comps[c].data_mut().copy_from_slice(&self.velocity[c]);
+        }
+        v
+    }
+
+    /// Serializes to the `DRCK` v1 little-endian wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.velocity[0].len();
+        assert!(self.velocity.iter().all(|c| c.len() == n), "ragged velocity components");
+        let mut out = Vec::with_capacity(4 + 4 + 8 * 4 + 8 + 24 * n);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.level as u64).to_le_bytes());
+        out.extend_from_slice(&(self.completed_iters as u64).to_le_bytes());
+        out.extend_from_slice(&self.beta.to_le_bytes());
+        out.extend_from_slice(&self.g0norm.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for comp in &self.velocity {
+            for x in comp {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the `DRCK` wire format; rejects bad magic, unknown versions,
+    /// and truncated payloads with a descriptive error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = bytes
+                .get(*off..*off + n)
+                .ok_or_else(|| format!("truncated checkpoint: need {} bytes at {}", n, off))?;
+            *off += n;
+            Ok(s)
+        };
+        let magic = take(&mut off, 4)?;
+        if magic != MAGIC {
+            return Err(format!("bad checkpoint magic {:?} (want {:?})", magic, MAGIC));
+        }
+        let version = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version} (want {VERSION})"));
+        }
+        let u64_at = |off: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(off, 8)?.try_into().unwrap()))
+        };
+        let level = u64_at(&mut off)? as usize;
+        let completed_iters = u64_at(&mut off)? as usize;
+        let beta = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+        let g0norm = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+        let n = u64_at(&mut off)? as usize;
+        let mut velocity: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+        for comp in velocity.iter_mut() {
+            comp.reserve_exact(n);
+            for _ in 0..n {
+                comp.push(f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap()));
+            }
+        }
+        if off != bytes.len() {
+            return Err(format!("{} trailing bytes after checkpoint payload", bytes.len() - off));
+        }
+        Ok(Self { level, beta, completed_iters, g0norm, velocity })
+    }
+}
+
+/// Where checkpoints are kept. Cheap to clone; the `Memory` variant shares
+/// its map across clones (so the store survives a rank's panic and a
+/// restarted solve can read it back).
+#[derive(Debug, Clone)]
+pub enum CheckpointStore {
+    /// Checkpointing disabled: saves are no-ops, loads return `None`.
+    Disabled,
+    /// In-memory per-rank map, shared between clones.
+    Memory(Arc<Mutex<HashMap<usize, Vec<u8>>>>),
+    /// One file per rank under this directory (`ckpt.rank{r}.drck`),
+    /// written atomically (temp file + rename).
+    File(PathBuf),
+}
+
+impl CheckpointStore {
+    /// A fresh shared in-memory store.
+    pub fn memory() -> Self {
+        CheckpointStore::Memory(Arc::new(Mutex::new(HashMap::new())))
+    }
+
+    /// A file-backed store rooted at `dir` (created on first save).
+    pub fn file(dir: impl Into<PathBuf>) -> Self {
+        CheckpointStore::File(dir.into())
+    }
+
+    /// Whether saves actually persist anything.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, CheckpointStore::Disabled)
+    }
+
+    fn rank_path(dir: &std::path::Path, rank: usize) -> PathBuf {
+        dir.join(format!("ckpt.rank{rank}.drck"))
+    }
+
+    /// Persists `rank`'s checkpoint bytes, replacing any previous one. File
+    /// saves are atomic: a crash mid-save leaves the old checkpoint intact.
+    pub fn save(&self, rank: usize, bytes: &[u8]) {
+        match self {
+            CheckpointStore::Disabled => {}
+            CheckpointStore::Memory(map) => {
+                map.lock().unwrap().insert(rank, bytes.to_vec());
+            }
+            CheckpointStore::File(dir) => {
+                std::fs::create_dir_all(dir).expect("create checkpoint dir");
+                let path = Self::rank_path(dir, rank);
+                let tmp = path.with_extension("drck.tmp");
+                std::fs::write(&tmp, bytes).expect("write checkpoint temp file");
+                std::fs::rename(&tmp, &path).expect("publish checkpoint file");
+            }
+        }
+    }
+
+    /// Loads `rank`'s most recent checkpoint bytes, if any.
+    pub fn load(&self, rank: usize) -> Option<Vec<u8>> {
+        match self {
+            CheckpointStore::Disabled => None,
+            CheckpointStore::Memory(map) => map.lock().unwrap().get(&rank).cloned(),
+            CheckpointStore::File(dir) => std::fs::read(Self::rank_path(dir, rank)).ok(),
+        }
+    }
+
+    /// Drops `rank`'s checkpoint (after a successful run, so a later solve
+    /// does not accidentally resume from a stale snapshot).
+    pub fn clear(&self, rank: usize) {
+        match self {
+            CheckpointStore::Disabled => {}
+            CheckpointStore::Memory(map) => {
+                map.lock().unwrap().remove(&rank);
+            }
+            CheckpointStore::File(dir) => {
+                let _ = std::fs::remove_file(Self::rank_path(dir, rank));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolverCheckpoint {
+        SolverCheckpoint {
+            level: 1,
+            beta: 1e-3,
+            completed_iters: 2,
+            g0norm: 0.123456789,
+            velocity: [
+                vec![0.25, -1.5, 3.0e-17],
+                vec![f64::MIN_POSITIVE, 0.0, -0.0],
+                vec![1.0, 2.0, 3.0],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let ck = sample();
+        let back = SolverCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.level, ck.level);
+        assert_eq!(back.completed_iters, ck.completed_iters);
+        assert_eq!(back.beta.to_bits(), ck.beta.to_bits());
+        assert_eq!(back.g0norm.to_bits(), ck.g0norm.to_bits());
+        for c in 0..3 {
+            let a: Vec<u64> = ck.velocity[c].iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = back.velocity[c].iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "component {c} not bitwise identical");
+        }
+    }
+
+    #[test]
+    fn nan_g0norm_survives_roundtrip() {
+        // Fresh-level boundary checkpoints carry g0norm = NaN.
+        let mut ck = sample();
+        ck.completed_iters = 0;
+        ck.g0norm = f64::NAN;
+        let back = SolverCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert!(back.g0norm.is_nan());
+        assert_eq!(back.g0norm.to_bits(), ck.g0norm.to_bits());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_payloads_are_rejected() {
+        let bytes = sample().to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(SolverCheckpoint::from_bytes(&bad).unwrap_err().contains("magic"));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(SolverCheckpoint::from_bytes(&wrong_version)
+            .unwrap_err()
+            .contains("version"));
+        let truncated = &bytes[..bytes.len() - 5];
+        assert!(SolverCheckpoint::from_bytes(truncated).unwrap_err().contains("truncated"));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SolverCheckpoint::from_bytes(&trailing).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn memory_store_survives_clone_and_clear() {
+        let store = CheckpointStore::memory();
+        assert!(store.is_enabled());
+        assert!(store.load(0).is_none());
+        let clone = store.clone();
+        clone.save(0, b"abc");
+        clone.save(3, b"xyz");
+        assert_eq!(store.load(0).as_deref(), Some(&b"abc"[..]));
+        assert_eq!(store.load(3).as_deref(), Some(&b"xyz"[..]));
+        store.clear(0);
+        assert!(store.load(0).is_none());
+        assert!(store.load(3).is_some());
+    }
+
+    #[test]
+    fn disabled_store_is_a_no_op() {
+        let store = CheckpointStore::Disabled;
+        assert!(!store.is_enabled());
+        store.save(0, b"abc");
+        assert!(store.load(0).is_none());
+    }
+
+    #[test]
+    fn file_store_roundtrips_atomically() {
+        let dir = std::env::temp_dir()
+            .join(format!("diffreg-ckpt-test-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let store = CheckpointStore::file(&dir);
+        let ck = sample();
+        store.save(2, &ck.to_bytes());
+        // No temp file left behind after the rename.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let back = SolverCheckpoint::from_bytes(&store.load(2).unwrap()).unwrap();
+        assert_eq!(back, ck);
+        store.clear(2);
+        assert!(store.load(2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -50,6 +50,11 @@ pub struct RegistrationConfig {
     /// Outer Newton-Krylov options (gtol = 1e-2 and quadratic forcing by
     /// default, as in the paper).
     pub newton: NewtonOptions,
+    /// Checkpoint the continuation solve every this many accepted Newton
+    /// iterations (`0` disables; only takes effect when the driver is also
+    /// given an enabled
+    /// [`CheckpointStore`](crate::checkpoint::CheckpointStore)).
+    pub checkpoint_every: usize,
 }
 
 impl Default for RegistrationConfig {
@@ -65,6 +70,7 @@ impl Default for RegistrationConfig {
             distance: Distance::Ssd,
             precondition: true,
             newton: NewtonOptions::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -93,6 +99,13 @@ impl RegistrationConfig {
         self.reg = reg;
         self
     }
+
+    /// Builder-style: checkpoint every `n` accepted Newton iterations
+    /// (`0` disables).
+    pub fn with_checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +120,7 @@ mod tests {
         assert_eq!(c.reg, RegOrder::H2);
         assert!(!c.incompressible);
         assert_eq!(c.newton.gtol, 1e-2);
+        assert_eq!(c.checkpoint_every, 0, "checkpointing is opt-in");
     }
 
     #[test]

@@ -5,9 +5,12 @@
 
 use diffreg_comm::Comm;
 use diffreg_grid::{ScalarField, VectorField};
-use diffreg_optim::{gauss_newton, GaussNewtonProblem, NewtonReport};
+use diffreg_optim::{
+    gauss_newton_observed, GaussNewtonProblem, NewtonCursor, NewtonReport, NewtonResume,
+};
 use diffreg_transport::Workspace;
 
+use crate::checkpoint::{CheckpointStore, SolverCheckpoint};
 use crate::config::RegistrationConfig;
 use crate::jacobian::{det_deformation_gradient, det_stats, displacement, DetGradStats};
 use crate::problem::RegProblem;
@@ -65,14 +68,38 @@ pub fn register_from<C: Comm>(
     cfg: RegistrationConfig,
     v0: VectorField,
 ) -> RegistrationOutcome {
+    register_from_observed(ws, rho_t, rho_r, cfg, v0, None, |_, _| {})
+}
+
+/// The resumable, observable core of [`register_from`]: the `observer` is
+/// called with the iterate after every *accepted* Newton step (the
+/// checkpoint hook), and `resume` restarts the solve from a checkpointed
+/// iterate.
+///
+/// The resume contract: when `resume` is `Some`, `v0` must be the iterate an
+/// earlier run's observer saw at `completed_iters` — it is *not* re-projected
+/// (the solver already keeps iterates in the constraint subspace), so the
+/// resumed run re-linearizes at exactly the checkpointed point and continues
+/// bitwise identically to the uninterrupted run.
+pub fn register_from_observed<C: Comm>(
+    ws: &Workspace<C>,
+    rho_t: &ScalarField,
+    rho_r: &ScalarField,
+    cfg: RegistrationConfig,
+    v0: VectorField,
+    resume: Option<NewtonResume>,
+    observer: impl FnMut(&VectorField, &NewtonCursor),
+) -> RegistrationOutcome {
     // The config's kernel choice wins over whatever the caller's workspace
     // carries, so `RegistrationConfig { kernel, .. }` behaves as documented.
     let ws = &Workspace { kernel: cfg.kernel, ..*ws };
     let mut prob = RegProblem::new(ws, rho_t, rho_r, cfg);
     let initial_mismatch = prob.initial_data_term();
-    // Keep the iterate in the divergence-free subspace from the start.
-    let v0 = prob.project(&v0);
-    let (velocity, report) = gauss_newton(&mut prob, v0, &cfg.newton);
+    // Keep the iterate in the divergence-free subspace from the start. On
+    // resume the checkpointed iterate is already in the subspace and must
+    // pass through untouched (bitwise) — see the resume contract above.
+    let v0 = if resume.is_some() { v0 } else { prob.project(&v0) };
+    let (velocity, report) = gauss_newton_observed(&mut prob, v0, &cfg.newton, resume, observer);
 
     // Final diagnostics at the converged velocity.
     let (_, _) = prob.linearize(&velocity);
@@ -121,6 +148,111 @@ pub fn register_with_continuation<C: Comm>(
         v = out.velocity.clone();
         reports.push(out.report.clone());
         outcome = Some(out);
+    }
+    (outcome.unwrap(), reports)
+}
+
+/// [`register_with_continuation`] with crash recovery: every
+/// `cfg.checkpoint_every` accepted Newton iterations (and at every level
+/// boundary) each rank writes a [`SolverCheckpoint`] to `store`; if `store`
+/// already holds a checkpoint when the solve starts, the run resumes from it
+/// and produces bitwise the same velocity as the uninterrupted solve. The
+/// checkpoint is cleared on successful completion. Collective over
+/// `ws.comm`; all ranks must pass equivalent stores (same kind, same
+/// contents for their own rank).
+pub fn register_with_continuation_checkpointed<C: Comm>(
+    ws: &Workspace<C>,
+    rho_t: &ScalarField,
+    rho_r: &ScalarField,
+    cfg: RegistrationConfig,
+    betas: &[f64],
+    store: &CheckpointStore,
+) -> (RegistrationOutcome, Vec<NewtonReport>) {
+    register_with_continuation_checkpointed_hooked(ws, rho_t, rho_r, cfg, betas, store, |_, _| {})
+}
+
+/// [`register_with_continuation_checkpointed`] with a test hook: `hook` is
+/// called after every accepted Newton step (after the checkpoint, if one was
+/// due) with the continuation level and the Newton cursor. Fault-injection
+/// tests panic from the hook to simulate a mid-solve crash at an exact,
+/// reproducible point.
+pub fn register_with_continuation_checkpointed_hooked<C: Comm>(
+    ws: &Workspace<C>,
+    rho_t: &ScalarField,
+    rho_r: &ScalarField,
+    cfg: RegistrationConfig,
+    betas: &[f64],
+    store: &CheckpointStore,
+    mut hook: impl FnMut(usize, &NewtonCursor),
+) -> (RegistrationOutcome, Vec<NewtonReport>) {
+    assert!(!betas.is_empty(), "need at least one continuation level");
+    assert!(
+        betas.windows(2).all(|w| w[1] <= w[0]),
+        "continuation levels must be non-increasing in β"
+    );
+    let rank = ws.comm.rank();
+    let mut start_level = 0usize;
+    let mut v = VectorField::zeros(ws.block());
+    let mut resume: Option<NewtonResume> = None;
+    if let Some(bytes) = store.load(rank) {
+        let ck = SolverCheckpoint::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("rank {rank}: unreadable checkpoint: {e}"));
+        assert!(
+            ck.level < betas.len(),
+            "checkpoint level {} outside the {}-level β schedule",
+            ck.level,
+            betas.len()
+        );
+        assert_eq!(
+            ck.beta.to_bits(),
+            betas[ck.level].to_bits(),
+            "checkpoint β does not match the schedule at level {}",
+            ck.level
+        );
+        start_level = ck.level;
+        v = ck.velocity_field(ws.block());
+        if ck.completed_iters > 0 {
+            resume =
+                Some(NewtonResume { completed_iters: ck.completed_iters, g0norm: ck.g0norm });
+        }
+    }
+    let mut reports = Vec::with_capacity(betas.len().saturating_sub(start_level));
+    let mut outcome = None;
+    let every = cfg.checkpoint_every;
+    let persist = every > 0 && store.is_enabled();
+    for (li, &beta) in betas.iter().enumerate().skip(start_level) {
+        let level_cfg = RegistrationConfig { beta, ..cfg };
+        let out = register_from_observed(
+            ws,
+            rho_t,
+            rho_r,
+            level_cfg,
+            v,
+            resume.take(),
+            |vel, cur| {
+                if persist && cur.completed_iters % every == 0 {
+                    let ck =
+                        SolverCheckpoint::capture(li, beta, cur.completed_iters, cur.g0norm, vel);
+                    store.save(rank, &ck.to_bytes());
+                }
+                hook(li, cur);
+            },
+        );
+        v = out.velocity.clone();
+        reports.push(out.report.clone());
+        outcome = Some(out);
+        if persist {
+            if li + 1 < betas.len() {
+                // Level boundary: a restart warm-starts the next level from
+                // this level's solution through the ordinary entry path.
+                let ck = SolverCheckpoint::capture(li + 1, betas[li + 1], 0, f64::NAN, &v);
+                store.save(rank, &ck.to_bytes());
+            } else {
+                // Finished: drop the checkpoint so a later solve does not
+                // resume from a stale snapshot.
+                store.clear(rank);
+            }
+        }
     }
     (outcome.unwrap(), reports)
 }

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod distance;
 mod driver;
@@ -41,9 +42,14 @@ mod multires;
 mod problem;
 mod rigid;
 
+pub use checkpoint::{CheckpointStore, SolverCheckpoint};
 pub use config::{HessianKind, RegistrationConfig};
 pub use distance::Distance;
-pub use driver::{register, register_from, register_with_continuation, RegistrationOutcome};
+pub use driver::{
+    register, register_from, register_from_observed, register_with_continuation,
+    register_with_continuation_checkpointed, register_with_continuation_checkpointed_hooked,
+    RegistrationOutcome,
+};
 pub use fieldops::FieldOps;
 pub use multires::{continuation_grids, register_multilevel};
 pub use jacobian::{

@@ -17,8 +17,8 @@ mod pcg;
 mod vector;
 
 pub use newton::{
-    gauss_newton, Forcing, GaussNewtonProblem, IterationStats, NewtonOptions, NewtonReport,
-    NewtonStatus,
+    gauss_newton, gauss_newton_observed, Forcing, GaussNewtonProblem, IterationStats,
+    NewtonCursor, NewtonOptions, NewtonReport, NewtonResume, NewtonStatus,
 };
 pub use pcg::{pcg, PcgOptions, PcgReport, PcgStatus};
 pub use vector::{DenseOps, VectorOps};

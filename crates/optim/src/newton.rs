@@ -118,6 +118,40 @@ pub enum NewtonStatus {
     MaxIterations,
     /// Line search could not find sufficient decrease.
     LineSearchFailed,
+    /// Numerical breakdown (NaN/Inf in the inner solve, the gradient, or
+    /// every trial objective) that the steepest-descent safeguard could not
+    /// recover from. The last finite iterate is returned.
+    Breakdown,
+}
+
+/// Warm-start state for resuming an interrupted Newton solve (see
+/// [`gauss_newton_observed`]): the iteration counter and the *original*
+/// run's initial gradient norm, so the relative-gradient stopping test and
+/// the Eisenstat-Walker forcing sequence continue exactly where the
+/// interrupted run left off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonResume {
+    /// Outer iterations already completed before the interruption.
+    pub completed_iters: usize,
+    /// `‖g₀‖` of the original (uninterrupted) run.
+    pub g0norm: f64,
+}
+
+/// Snapshot handed to the observer after each *accepted* Newton step —
+/// everything a checkpoint needs to resume bitwise-identically, plus
+/// diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonCursor {
+    /// Outer iterations completed, including the one just accepted.
+    pub completed_iters: usize,
+    /// The run's initial gradient norm (constant across the run).
+    pub g0norm: f64,
+    /// Objective value at the *start* of the accepted iteration.
+    pub objective: f64,
+    /// Gradient norm at the start of the accepted iteration.
+    pub grad_norm: f64,
+    /// Accepted line-search step length.
+    pub step_length: f64,
 }
 
 /// Outcome of a Newton solve.
@@ -135,6 +169,9 @@ pub struct NewtonReport {
     pub grad_norm: f64,
     /// Initial gradient norm.
     pub grad_norm0: f64,
+    /// Number of iterations that fell back to the (preconditioned) steepest
+    /// descent direction after an inner-solve breakdown or non-descent step.
+    pub fallback_steps: usize,
 }
 
 impl NewtonReport {
@@ -160,17 +197,43 @@ pub fn gauss_newton<P: GaussNewtonProblem>(
     v0: P::Vec,
     opts: &NewtonOptions,
 ) -> (P::Vec, NewtonReport) {
+    gauss_newton_observed(problem, v0, opts, None, |_, _| {})
+}
+
+/// [`gauss_newton`] with checkpoint/restart hooks: `resume` warm-starts the
+/// iteration (counter + original `‖g₀‖`), and `observer` is called with the
+/// iterate and a [`NewtonCursor`] after every accepted step — *before* the
+/// re-linearization — so a checkpoint taken there and resumed reproduces the
+/// uninterrupted run bitwise (the linearization is a pure function of the
+/// iterate).
+pub fn gauss_newton_observed<P: GaussNewtonProblem>(
+    problem: &mut P,
+    v0: P::Vec,
+    opts: &NewtonOptions,
+    resume: Option<NewtonResume>,
+    mut observer: impl FnMut(&P::Vec, &NewtonCursor),
+) -> (P::Vec, NewtonReport) {
     let mut v = v0;
     let (mut j, mut g) = problem.linearize(&v);
-    let g0norm = problem.ops().norm(&g);
-    let mut gnorm = g0norm;
+    let fresh_gnorm = problem.ops().norm(&g);
+    let (g0norm, start_iter) = match resume {
+        Some(r) => (r.g0norm, r.completed_iters),
+        None => (fresh_gnorm, 0),
+    };
+    let mut gnorm = fresh_gnorm;
     let mut iterations = Vec::new();
     let mut total_matvecs = 0;
+    let mut fallback_steps = 0;
     let mut status = NewtonStatus::MaxIterations;
 
-    for _ in 0..opts.max_iter {
+    for it in start_iter..opts.max_iter {
         if gnorm <= opts.gatol || gnorm <= opts.gtol * g0norm {
             status = NewtonStatus::Converged;
+            break;
+        }
+        if !gnorm.is_finite() || !j.is_finite() {
+            // The linearization itself is poisoned; no direction can fix it.
+            status = NewtonStatus::Breakdown;
             break;
         }
         let rel = if g0norm > 0.0 { gnorm / g0norm } else { 0.0 };
@@ -195,27 +258,36 @@ pub fn gauss_newton<P: GaussNewtonProblem>(
         };
         total_matvecs += rep.iterations;
 
-        // Guard: ensure descent; fall back to the preconditioned steepest
-        // descent direction if PCG broke down into a non-descent direction.
+        // Guard: ensure a finite descent direction; on an inner-solve
+        // breakdown (NaN/Inf, indefiniteness into non-descent) or a
+        // non-descent step, truncate to the preconditioned steepest descent
+        // direction for this one step.
         let mut dir = d;
         let mut gd = problem.ops().dot(&g, &dir);
-        if gd >= 0.0 || rep.status == PcgStatus::ZeroRhs {
+        if !gd.is_finite() || gd >= 0.0 || rep.status == PcgStatus::ZeroRhs {
             dir = problem.precondition(&rhs);
             gd = problem.ops().dot(&g, &dir);
+            fallback_steps += 1;
+            if !gd.is_finite() {
+                status = NewtonStatus::Breakdown;
+                break;
+            }
             if gd >= 0.0 {
                 status = NewtonStatus::LineSearchFailed;
                 break;
             }
         }
 
-        // Armijo backtracking.
+        // Armijo backtracking. NaN trial objectives fail the sufficient
+        // decrease test (comparisons with NaN are false) and simply halve
+        // the step, so overshooting into a poisoned region self-corrects.
         let mut t = 1.0;
         let mut accepted = false;
         for _ in 0..opts.max_linesearch {
             let mut trial = v.clone();
             problem.ops().axpy(&mut trial, t, &dir);
             let jt = problem.objective(&trial);
-            if jt <= j + opts.armijo_c * t * gd {
+            if jt.is_finite() && jt <= j + opts.armijo_c * t * gd {
                 iterations.push(IterationStats {
                     objective: j,
                     grad_norm: gnorm,
@@ -233,6 +305,16 @@ pub fn gauss_newton<P: GaussNewtonProblem>(
             status = NewtonStatus::LineSearchFailed;
             break;
         }
+        observer(
+            &v,
+            &NewtonCursor {
+                completed_iters: it + 1,
+                g0norm,
+                objective: j,
+                grad_norm: gnorm,
+                step_length: iterations.last().map(|s| s.step_length).unwrap_or(1.0),
+            },
+        );
         let (jn, gn) = problem.linearize(&v);
         j = jn;
         g = gn;
@@ -250,6 +332,7 @@ pub fn gauss_newton<P: GaussNewtonProblem>(
             objective: j,
             grad_norm: gnorm,
             grad_norm0: g0norm,
+            fallback_steps,
         },
     )
 }
@@ -396,6 +479,123 @@ mod tests {
         assert_eq!(Forcing::Quadratic.eta(0.25, 0.5), 0.25);
         assert_eq!(Forcing::Quadratic.eta(0.9, 0.5), 0.5);
         assert!((Forcing::Superlinear.eta(0.25, 0.9) - 0.5).abs() < 1e-15);
+    }
+
+    /// A Hessian that emits NaNs: PCG reports a typed breakdown, the driver
+    /// truncates to the preconditioned steepest-descent direction, and the
+    /// solve still converges (counted in `fallback_steps`).
+    struct NanHessian {
+        inner: Cubefit,
+    }
+
+    impl GaussNewtonProblem for NanHessian {
+        type Vec = Vec<f64>;
+        type Ops = DenseOps;
+        fn ops(&self) -> &DenseOps {
+            &self.inner.ops
+        }
+        fn objective(&mut self, v: &Vec<f64>) -> f64 {
+            self.inner.objective(v)
+        }
+        fn linearize(&mut self, v: &Vec<f64>) -> (f64, Vec<f64>) {
+            self.inner.linearize(v)
+        }
+        fn hessian_vec(&mut self, d: &Vec<f64>) -> Vec<f64> {
+            vec![f64::NAN; d.len()]
+        }
+        fn precondition(&mut self, r: &Vec<f64>) -> Vec<f64> {
+            // Scaled-gradient preconditioner keeps steepest descent stable.
+            r.iter().map(|x| 0.02 * x).collect()
+        }
+    }
+
+    #[test]
+    fn nan_hessian_falls_back_to_steepest_descent() {
+        let mut prob =
+            NanHessian { inner: Cubefit { t: vec![8.0, 27.0], lin: vec![], ops: DenseOps } };
+        let opts = NewtonOptions { gtol: 1e-6, max_iter: 400, ..NewtonOptions::default() };
+        let (v, rep) = gauss_newton(&mut prob, vec![1.5, 2.5], &opts);
+        assert_eq!(rep.status, NewtonStatus::Converged, "{rep:?}");
+        assert!(rep.fallback_steps > 0, "breakdowns must be routed through the fallback");
+        assert!((v[0] - 2.0).abs() < 1e-2 && (v[1] - 3.0).abs() < 1e-2, "{v:?}");
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    /// A fully poisoned objective cannot be rescued: the driver reports a
+    /// breakdown (or failed line search) instead of looping on NaNs, and the
+    /// returned iterate is the last finite one.
+    struct PoisonedObjective;
+
+    impl GaussNewtonProblem for PoisonedObjective {
+        type Vec = Vec<f64>;
+        type Ops = DenseOps;
+        fn ops(&self) -> &DenseOps {
+            &DenseOps
+        }
+        fn objective(&mut self, _v: &Vec<f64>) -> f64 {
+            f64::NAN
+        }
+        fn linearize(&mut self, _v: &Vec<f64>) -> (f64, Vec<f64>) {
+            (1.0, vec![1.0, 1.0])
+        }
+        fn hessian_vec(&mut self, d: &Vec<f64>) -> Vec<f64> {
+            d.clone()
+        }
+        fn precondition(&mut self, r: &Vec<f64>) -> Vec<f64> {
+            r.clone()
+        }
+    }
+
+    #[test]
+    fn poisoned_objective_terminates_with_finite_iterate() {
+        let (v, rep) = gauss_newton(
+            &mut PoisonedObjective,
+            vec![0.5, 0.5],
+            &NewtonOptions { max_iter: 10, ..NewtonOptions::default() },
+        );
+        assert!(
+            matches!(rep.status, NewtonStatus::LineSearchFailed | NewtonStatus::Breakdown),
+            "{rep:?}"
+        );
+        assert_eq!(v, vec![0.5, 0.5], "last finite iterate is returned untouched");
+    }
+
+    /// Checkpoint/restart oracle at the optimizer level: interrupt after the
+    /// observer's k-th callback, resume with `NewtonResume`, and the final
+    /// iterate must equal the uninterrupted run's bitwise.
+    #[test]
+    fn resumed_solve_is_bitwise_identical() {
+        let t = vec![8.0, 27.0, 1.0];
+        let opts = NewtonOptions { gtol: 1e-12, max_iter: 40, ..NewtonOptions::default() };
+
+        let mut full = Cubefit { t: t.clone(), lin: vec![], ops: DenseOps };
+        let mut snapshot: Option<(Vec<f64>, NewtonCursor)> = None;
+        let (v_full, rep_full) =
+            gauss_newton_observed(&mut full, vec![1.5, 2.5, 0.5], &opts, None, |v, cur| {
+                if cur.completed_iters == 2 {
+                    snapshot = Some((v.clone(), *cur));
+                }
+            });
+        assert!(rep_full.outer_iterations() > 2, "need enough iterations to interrupt");
+        let (v_ck, cur) = snapshot.expect("observer must fire at iteration 2");
+
+        let mut resumed = Cubefit { t, lin: vec![], ops: DenseOps };
+        let (v_res, rep_res) = gauss_newton_observed(
+            &mut resumed,
+            v_ck,
+            &opts,
+            Some(NewtonResume { completed_iters: cur.completed_iters, g0norm: cur.g0norm }),
+            |_, _| {},
+        );
+        assert_eq!(rep_res.status, rep_full.status);
+        for (a, b) in v_res.iter().zip(&v_full) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed iterate diverged: {a} vs {b}");
+        }
+        assert_eq!(
+            rep_res.outer_iterations() + 2,
+            rep_full.outer_iterations(),
+            "resume must not repeat completed iterations"
+        );
     }
 
     #[test]

@@ -35,6 +35,20 @@ pub enum PcgStatus {
     IndefiniteOperator,
     /// The right-hand side was (numerically) zero.
     ZeroRhs,
+    /// A NaN/Inf appeared in the residual, the curvature `pᵀAp`, or the
+    /// preconditioned inner product: the Krylov recurrence is poisoned. The
+    /// last iterate with a finite residual is returned so the outer solver
+    /// can truncate to it and fall back to a safeguarded step.
+    NonFinite,
+}
+
+impl PcgStatus {
+    /// True for the breakdown statuses ([`PcgStatus::IndefiniteOperator`],
+    /// [`PcgStatus::NonFinite`]) that require the outer Newton driver to
+    /// apply a safeguard instead of trusting the returned step.
+    pub fn is_breakdown(self) -> bool {
+        matches!(self, PcgStatus::IndefiniteOperator | PcgStatus::NonFinite)
+    }
 }
 
 /// Outcome of one PCG solve.
@@ -63,12 +77,20 @@ pub fn pcg<V: Clone, S: VectorOps<V>>(
     if bnorm == 0.0 {
         return (x, PcgReport { status: PcgStatus::ZeroRhs, iterations: 0, residual: 0.0 });
     }
+    if !bnorm.is_finite() {
+        // A poisoned right-hand side: nothing to solve from.
+        return (x, PcgReport { status: PcgStatus::NonFinite, iterations: 0, residual: bnorm });
+    }
     let tol = (opts.rtol * bnorm).max(opts.atol);
 
     let mut r = b.clone();
     let mut z = apply_minv(&r);
     let mut p = z.clone();
     let mut rz = space.dot(&r, &z);
+    if !rz.is_finite() {
+        // The preconditioner produced NaN/Inf.
+        return (x, PcgReport { status: PcgStatus::NonFinite, iterations: 0, residual: bnorm });
+    }
     let mut rnorm = bnorm;
     let mut iters = 0;
 
@@ -79,6 +101,14 @@ pub fn pcg<V: Clone, S: VectorOps<V>>(
         let ap = apply_a(&p);
         iters += 1;
         let pap = space.dot(&p, &ap);
+        if !pap.is_finite() {
+            // NaN/Inf out of the Hessian matvec: the current iterate is the
+            // last one with a finite residual — hand it back untouched.
+            return (
+                x,
+                PcgReport { status: PcgStatus::NonFinite, iterations: iters, residual: rnorm },
+            );
+        }
         if pap <= 0.0 {
             // Non-positive curvature: fall back to the current iterate (or
             // the preconditioned gradient if nothing has been accumulated).
@@ -91,11 +121,26 @@ pub fn pcg<V: Clone, S: VectorOps<V>>(
             );
         }
         let alpha = rz / pap;
+        let x_prev = x.clone();
         space.axpy(&mut x, alpha, &p);
         space.axpy(&mut r, -alpha, &ap);
         rnorm = space.norm(&r);
+        if !rnorm.is_finite() {
+            // The update poisoned the residual: truncate to the last good
+            // iterate.
+            return (
+                x_prev,
+                PcgReport { status: PcgStatus::NonFinite, iterations: iters, residual: rnorm },
+            );
+        }
         z = apply_minv(&r);
         let rz_new = space.dot(&r, &z);
+        if !rz_new.is_finite() {
+            return (
+                x,
+                PcgReport { status: PcgStatus::NonFinite, iterations: iters, residual: rnorm },
+            );
+        }
         let beta = rz_new / rz;
         rz = rz_new;
         // p = z + beta p
@@ -210,6 +255,64 @@ mod tests {
             &PcgOptions::default(),
         );
         assert_eq!(rep.status, PcgStatus::IndefiniteOperator);
+    }
+
+    #[test]
+    fn nan_matvec_is_a_typed_breakdown() {
+        let b = vec![1.0, 2.0];
+        let ops = DenseOps;
+        let (x, rep) = pcg(
+            &ops,
+            |_: &Vec<f64>| vec![f64::NAN, f64::NAN],
+            |v: &Vec<f64>| v.clone(),
+            &b,
+            &PcgOptions::default(),
+        );
+        assert_eq!(rep.status, PcgStatus::NonFinite);
+        assert!(rep.status.is_breakdown());
+        // The returned iterate is the (finite) zero start, never NaN.
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_appearing_mid_solve_truncates_to_last_good_iterate() {
+        // Matvec turns sour after the second application.
+        let n = 8;
+        let count = std::cell::Cell::new(0usize);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let ops = DenseOps;
+        let (x, rep) = pcg(
+            &ops,
+            |v: &Vec<f64>| {
+                count.set(count.get() + 1);
+                if count.get() > 2 {
+                    vec![f64::NAN; n]
+                } else {
+                    v.iter().enumerate().map(|(i, vi)| (2.0 + i as f64 * 0.1) * vi).collect()
+                }
+            },
+            |v: &Vec<f64>| v.clone(),
+            &b,
+            &PcgOptions { rtol: 1e-14, atol: 0.0, max_iter: 100 },
+        );
+        assert_eq!(rep.status, PcgStatus::NonFinite);
+        assert!(x.iter().all(|v| v.is_finite()), "{x:?}");
+        assert!(x.iter().any(|&v| v != 0.0), "progress before the breakdown is kept");
+    }
+
+    #[test]
+    fn non_finite_rhs_is_rejected() {
+        let ops = DenseOps;
+        let (x, rep) = pcg(
+            &ops,
+            |v: &Vec<f64>| v.clone(),
+            |v: &Vec<f64>| v.clone(),
+            &vec![f64::INFINITY, 0.0],
+            &PcgOptions::default(),
+        );
+        assert_eq!(rep.status, PcgStatus::NonFinite);
+        assert_eq!(rep.iterations, 0);
+        assert!(x.iter().all(|v| *v == 0.0));
     }
 
     #[test]

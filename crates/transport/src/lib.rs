@@ -18,5 +18,7 @@ mod workspace;
 
 pub use nonstationary::{TimeVaryingTransport, TimeVaryingVelocity};
 pub use solvers::SemiLagrangian;
-pub use trajectory::{compute_trajectory, compute_trajectory_pair, local_grid_points, Trajectory};
+pub use trajectory::{
+    compute_trajectory, compute_trajectory_pair, local_grid_points, velocity_is_finite, Trajectory,
+};
 pub use workspace::Workspace;

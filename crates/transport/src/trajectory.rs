@@ -29,6 +29,22 @@ pub struct Trajectory {
     pub points: Vec<[f64; 3]>,
 }
 
+/// Collective finiteness check for a velocity field: `true` iff every
+/// component value on every rank is finite.
+///
+/// The local scan is reduced as a 0/1 "any non-finite" flag (integer-valued,
+/// so the `allreduce` sum is exact and bitwise reproducible regardless of
+/// reduction order). It deliberately does *not* reduce a max over the values
+/// themselves: in Rust `f64::max(NaN, x) == x`, which would silently hide
+/// the NaN it is supposed to find. Must be called by all ranks of the
+/// communicator.
+pub fn velocity_is_finite<C: Comm>(ws: &Workspace<C>, v: &VectorField) -> bool {
+    let bad_local = v.comps.iter().any(|c| c.data().iter().any(|x| !x.is_finite()));
+    let mut flag = [if bad_local { 1.0 } else { 0.0 }];
+    ws.comm.allreduce(&mut flag, diffreg_comm::ReduceOp::Sum);
+    flag[0] == 0.0
+}
+
 /// Physical coordinates of every locally owned grid point, in local order.
 pub fn local_grid_points<C: Comm>(ws: &Workspace<C>) -> Vec<[f64; 3]> {
     let grid = ws.grid();
@@ -70,6 +86,16 @@ pub fn compute_trajectory_pair<C: Comm>(
     let n = xs.len();
     assert_eq!(v_arrival.local_len(), n, "velocity not on this rank's block");
     assert_eq!(v_departure.local_len(), n, "velocity not on this rank's block");
+    // Guard the semi-Lagrangian step against a poisoned velocity: a single
+    // NaN/Inf component would silently corrupt every departure point and the
+    // scatter plan built from them. Fail loudly and identically on all ranks
+    // (the check is collective) instead — see README "Fault model & runbook".
+    assert!(
+        velocity_is_finite(ws, v_arrival) && velocity_is_finite(ws, v_departure),
+        "non-finite velocity entering the semi-Lagrangian trajectory step \
+         (rank {}); see the \"Fault model & runbook\" section of the README",
+        ws.comm.rank(),
+    );
 
     // Euler predictor X* = x − s·δt·v_arrival(x).
     let s = sign * dt;
@@ -131,6 +157,31 @@ mod tests {
         for (x, d) in xs.iter().zip(&back.points) {
             assert!((d[0] - (x[0] + 0.25 * 0.3)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn non_finite_velocity_is_rejected_loudly() {
+        let grid = Grid::cubic(6);
+        let comm = SerialComm::new();
+        let decomp = Decomp::new(grid, 1);
+        let fft = PencilFft::new(&comm, decomp);
+        let timers = Timers::new();
+        let ws = Workspace::new(&comm, &decomp, &fft, &timers);
+        let mut v = VectorField::zeros(ws.block());
+        assert!(velocity_is_finite(&ws, &v));
+        v.comps[1].data_mut()[3] = f64::NAN;
+        assert!(!velocity_is_finite(&ws, &v));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute_trajectory(&ws, &v, 0.5, 1.0)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("non-finite velocity"), "{msg}");
+        assert!(msg.contains("Fault model"), "{msg}");
+        // Inf is caught just as well as NaN (f64::max would have hidden NaN;
+        // the 0/1-flag reduction catches both).
+        v.comps[1].data_mut()[3] = f64::INFINITY;
+        assert!(!velocity_is_finite(&ws, &v));
     }
 
     #[test]

@@ -5,26 +5,41 @@
 # external crates. This script enforces all of it:
 #   1. release build, fully offline
 #   2. full workspace test suite, fully offline
-#   3. clippy clean under -D warnings (skipped if clippy is not installed)
-#   4. smoke-test the individual crates a distributed solve flows through
-#   5. fail if Cargo.lock ever acquires a registry (non-path) dependency
+#   3. debug-assertions test pass (collective-contract checker active)
+#   4. chaos / resilience suites at fixed seeds (fault-injection drills)
+#   5. clippy clean under -D warnings (skipped if clippy is not installed)
+#   6. smoke-test the individual crates a distributed solve flows through
+#   7. fail if Cargo.lock ever acquires a registry (non-path) dependency
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] cargo build --release --offline"
+echo "==> [1/7] cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> [2/5] cargo test --offline (workspace)"
+echo "==> [2/7] cargo test --offline (workspace, release)"
 cargo test --workspace --release -q --offline
 
-echo "==> [3/5] cargo clippy -- -D warnings"
+echo "==> [3/7] cargo test --offline (workspace, debug: contract checker on)"
+# Debug builds default the collective-ordering contract checker to ON
+# (debug_assertions); force it explicitly so the gate survives profile
+# tweaks. This continuously proves the whole solver stack is contract-clean.
+DIFFREG_COMM_CONTRACT=1 cargo test --workspace -q --offline
+
+echo "==> [4/7] chaos & resilience suites (fixed seeds)"
+# Fault-injection drills: seeded latency/reorder/stall/kill schedules, the
+# watchdog, rank-failure containment, and checkpoint/restart. The seeds are
+# fixed inside the tests, so this step is fully deterministic.
+cargo test -p diffreg-comm --release -q --offline --test chaos
+cargo test -p diffreg-core --release -q --offline --test resilience
+
+echo "==> [5/7] cargo clippy -- -D warnings"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "    clippy not installed; skipping lint gate"
 fi
 
-echo "==> [4/5] per-crate smoke tests"
+echo "==> [6/7] per-crate smoke tests"
 for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
              diffreg-spectral diffreg-pfft diffreg-interp \
              diffreg-transport diffreg-optim diffreg-core; do
@@ -32,7 +47,7 @@ for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
     echo "    $crate ok"
 done
 
-echo "==> [5/5] dependency audit (no external crates allowed)"
+echo "==> [7/7] dependency audit (no external crates allowed)"
 # Every package in Cargo.lock must be one of ours (path deps carry no
 # `source =` line; registry/git deps do).
 if grep -q '^source = ' Cargo.lock; then
