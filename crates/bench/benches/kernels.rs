@@ -1,138 +1,14 @@
-//! Microbenchmarks of the solver's computational kernels: the distributed
-//! FFT, the tricubic interpolation sweep, the semi-Lagrangian transport
-//! step, the gradient evaluation, and the Gauss-Newton Hessian matvec —
-//! the building blocks whose costs the paper's complexity model (§III-C4)
-//! accounts for.
+//! Microbenchmarks of the solver's computational kernels (thin shim).
 //!
-//! Runs under the in-tree `testkit::bench` timer (median-of-K wall clock
-//! with warmup) and prints one JSON line per benchmark, e.g.
-//! `{"bench":"fft3d/forward/32","median_s":...,"min_s":...,"samples":15}`.
-//! Invoke with `cargo bench -p diffreg-bench` (harness = false).
+//! The suite itself lives in `diffreg_bench::kernels` so that this bench
+//! target, the CI `perf_gate` binary, and the results schema all share one
+//! definition. Runs under the in-tree `testkit::bench` timer (median-of-K
+//! wall clock with warmup), prints one JSON line per benchmark, and writes
+//! the whole suite to `results/kernels.json` in the canonical
+//! `diffreg-bench-v1` schema. Invoke with `cargo bench -p diffreg-bench`
+//! (harness = false).
 
-use diffreg_comm::{SerialComm, Timers};
-use diffreg_core::{RegProblem, RegistrationConfig};
-use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
-use diffreg_interp::{ghosted, Kernel, ScatterPlan};
-use diffreg_optim::GaussNewtonProblem;
-use diffreg_pfft::PencilFft;
-use diffreg_testkit::bench_named;
-use diffreg_transport::{SemiLagrangian, Workspace};
-
-/// Warmup runs and timed samples per benchmark (median over `K`).
-const WARMUP: usize = 2;
-const K: usize = 9;
-
-struct Ctx {
-    grid: Grid,
-    comm: SerialComm,
-    decomp: Decomp,
-}
-
-impl Ctx {
-    fn new(n: usize) -> Self {
-        let grid = Grid::cubic(n);
-        let comm = SerialComm::new();
-        let decomp = Decomp::new(grid, 1);
-        Self { grid, comm, decomp }
-    }
-}
-
-fn bench_fft() {
-    for n in [32usize, 64] {
-        let ctx = Ctx::new(n);
-        let fft = PencilFft::new(&ctx.comm, ctx.decomp);
-        let timers = Timers::new();
-        let field = ScalarField::from_fn(&ctx.grid, fft.spatial_block(), |x| {
-            x[0].sin() + x[1].cos() * x[2].sin()
-        });
-        bench_named(&format!("fft3d/forward/{n}"), WARMUP, K, || {
-            fft.forward(&field, &timers);
-        });
-        let spec = fft.forward(&field, &timers);
-        bench_named(&format!("fft3d/inverse/{n}"), WARMUP, K, || {
-            fft.inverse(&spec, &timers);
-        });
-        bench_named(&format!("fft3d/gradient/{n}"), WARMUP, K, || {
-            fft.gradient(&field, &timers);
-        });
-    }
-}
-
-fn bench_interp() {
-    for n in [32usize, 64] {
-        let ctx = Ctx::new(n);
-        let timers = Timers::new();
-        let decomp = ctx.decomp;
-        let block = decomp.block(0, diffreg_grid::Layout::Spatial);
-        let field = ScalarField::from_fn(&ctx.grid, block, |x| x[0].sin() * x[1].cos());
-        let ghost = ghosted(&ctx.comm, &decomp, &field);
-        // Departure-like points: every grid point shifted by a fraction of a cell.
-        let pts: Vec<[f64; 3]> = (0..block.len())
-            .map(|l| {
-                let gi = block.global_of_local(l);
-                [
-                    ctx.grid.coord(0, gi[0]) + 0.37,
-                    ctx.grid.coord(1, gi[1]) - 0.21,
-                    ctx.grid.coord(2, gi[2]) + 0.11,
-                ]
-            })
-            .collect();
-        let plan = ScatterPlan::build(&ctx.comm, &decomp, &pts, &timers);
-        for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
-            bench_named(&format!("interpolation/{kernel:?}/{n}"), WARMUP, K, || {
-                plan.interpolate(&ctx.comm, &ghost, kernel, &timers);
-            });
-        }
-    }
-}
-
-fn bench_transport() {
-    let n = 32;
-    let ctx = Ctx::new(n);
-    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
-    let timers = Timers::new();
-    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
-    let v = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
-        [0.4 * x[1].sin(), 0.3 * x[0].cos(), 0.2 * x[2].sin()]
-    });
-    let rho0 = ScalarField::from_fn(&ctx.grid, ws.block(), |x| x[0].sin() + x[1].cos());
-    bench_named("transport/semi_lagrangian_setup/32", WARMUP, K, || {
-        SemiLagrangian::new(&ws, &v, 4);
-    });
-    let sl = SemiLagrangian::new(&ws, &v, 4);
-    bench_named("transport/state_solve_nt4/32", WARMUP, K, || {
-        sl.solve_state(&ws, &rho0);
-    });
-    let lam1 = rho0.clone();
-    bench_named("transport/adjoint_solve_nt4/32", WARMUP, K, || {
-        sl.solve_adjoint(&ws, &lam1);
-    });
-}
-
-fn bench_solver() {
-    let n = 16;
-    let ctx = Ctx::new(n);
-    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
-    let timers = Timers::new();
-    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
-    let t = diffreg_imgsim::template(&ctx.grid, ws.block());
-    let v_star = diffreg_imgsim::exact_velocity(&ctx.grid, ws.block(), 0.5);
-    let sl = SemiLagrangian::new(&ws, &v_star, 4);
-    let r = sl.solve_state(&ws, &t).pop().unwrap();
-    let cfg = RegistrationConfig::default();
-    let mut prob = RegProblem::new(&ws, &t, &r, cfg);
-    let v = VectorField::zeros(ws.block());
-    bench_named("solver/gradient_eval/16", WARMUP, K, || {
-        prob.linearize(&v);
-    });
-    prob.linearize(&v);
-    let dir = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
-        [0.1 * x[1].sin(), 0.1 * x[0].cos(), 0.1 * x[2].sin()]
-    });
-    bench_named("solver/hessian_matvec/16", WARMUP, K, || {
-        prob.hessian_vec(&dir);
-    });
-}
+use diffreg_bench::kernels::{run_kernel_suite, K, WARMUP};
 
 fn main() {
     // `cargo test` compiles and runs bench targets with `--test`; produce
@@ -140,8 +16,6 @@ fn main() {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
-    bench_fft();
-    bench_interp();
-    bench_transport();
-    bench_solver();
+    let suite = run_kernel_suite(WARMUP, K, &[32, 64]);
+    diffreg_bench::write_suite(&suite);
 }

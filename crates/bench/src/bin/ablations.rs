@@ -15,13 +15,14 @@
 //!
 //! Default runs all studies. Usage: `ablations [--study X] [--size 16]`
 
-use diffreg_bench::{arg_list, sci};
+use diffreg_bench::{arg_list, sci, write_suite};
 use diffreg_comm::{SerialComm, Timers};
 use diffreg_core::{register, HessianKind, RegistrationConfig};
 use diffreg_grid::{Decomp, Grid, ScalarField};
 use diffreg_optim::{Forcing, NewtonOptions};
 use diffreg_pfft::PencilFft;
 use diffreg_spectral::RegOrder;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
 use diffreg_transport::{SemiLagrangian, Workspace};
 
 struct Setup {
@@ -51,7 +52,7 @@ fn run(ws: &Workspace<SerialComm>, t: &ScalarField, r: &ScalarField, cfg: Regist
     (out.relative_mismatch(), out.hessian_matvecs, out.report.outer_iterations(), t0.elapsed().as_secs_f64())
 }
 
-fn study_nt(s: &Setup) {
+fn study_nt(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== nt ablation (semi-Lagrangian steps; paper fixes nt = 4) ==");
     println!("{:<6} {:>10} {:>8} {:>10}", "nt", "relres", "matvecs", "time (s)");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -62,11 +63,16 @@ fn study_nt(s: &Setup) {
         let cfg = RegistrationConfig { beta: 1e-3, nt, ..Default::default() };
         let (rel, mv, _, dt) = run(&ws, &t, &r, cfg);
         println!("{nt:<6} {rel:>10.4} {mv:>8} {:>10}", sci(dt));
+        suite.push(
+            BenchRecord::new(format!("nt/{nt}"), vec![dt])
+                .with_extra("rel_mismatch", rel)
+                .with_extra("matvecs", mv as f64),
+        );
     }
     println!("(accuracy saturates by nt≈4 while cost grows linearly — the paper's choice)");
 }
 
-fn study_kernel(s: &Setup) {
+fn study_kernel(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== interpolation-kernel ablation ==");
     println!("{:<12} {:>10} {:>8} {:>10}", "kernel", "relres", "matvecs", "time (s)");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -77,11 +83,16 @@ fn study_kernel(s: &Setup) {
         let cfg = RegistrationConfig { beta: 1e-3, kernel, ..Default::default() };
         let (rel, mv, _, dt) = run(&ws, &t, &r, cfg);
         println!("{:<12} {rel:>10.4} {mv:>8} {:>10}", format!("{kernel:?}"), sci(dt));
+        suite.push(
+            BenchRecord::new(format!("kernel/{kernel:?}"), vec![dt])
+                .with_extra("rel_mismatch", rel)
+                .with_extra("matvecs", mv as f64),
+        );
     }
     println!("(trilinear is cheaper per point but loses registration accuracy, §III-B2)");
 }
 
-fn study_reg(s: &Setup) {
+fn study_reg(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== regularization-order ablation (spectral symbols make all orders free) ==");
     println!("{:<6} {:>10} {:>10} {:>8} {:>10} {:>18}", "order", "beta", "relres", "matvecs", "time (s)", "det range");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -103,10 +114,18 @@ fn study_reg(s: &Setup) {
             sci(t0.elapsed().as_secs_f64()),
             format!("[{:.2}, {:.2}]", out.det_grad.min, out.det_grad.max),
         );
+        suite.push(
+            BenchRecord::new(format!("reg/{reg:?}"), vec![t0.elapsed().as_secs_f64()])
+                .with_extra("beta", beta)
+                .with_extra("rel_mismatch", out.relative_mismatch())
+                .with_extra("matvecs", out.hessian_matvecs as f64)
+                .with_extra("det_min", out.det_grad.min)
+                .with_extra("det_max", out.det_grad.max),
+        );
     }
 }
 
-fn study_precond(s: &Setup) {
+fn study_precond(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== preconditioner ablation (inverse regularization operator, §III-A) ==");
     println!("{:<14} {:>10} {:>10} {:>8} {:>10}", "preconditioner", "beta", "relres", "matvecs", "time (s)");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -128,12 +147,24 @@ fn study_precond(s: &Setup) {
                 format!("{beta:.0E}"),
                 sci(dt)
             );
+            suite.push(
+                BenchRecord::new(
+                    format!(
+                        "precond/{}/{beta:.0E}",
+                        if precondition { "spectral" } else { "none" }
+                    ),
+                    vec![dt],
+                )
+                .with_extra("beta", beta)
+                .with_extra("rel_mismatch", rel)
+                .with_extra("matvecs", mv as f64),
+            );
         }
     }
     println!("(without the preconditioner the Krylov solver needs many times more matvecs)");
 }
 
-fn study_forcing(s: &Setup) {
+fn study_forcing(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== Eisenstat-Walker forcing ablation ==");
     println!("{:<18} {:>10} {:>8} {:>8} {:>10}", "forcing", "relres", "outer", "matvecs", "time (s)");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -154,12 +185,18 @@ fn study_forcing(s: &Setup) {
         };
         let (rel, mv, outer, dt) = run(&ws, &t, &r, cfg);
         println!("{name:<18} {rel:>10.4} {outer:>8} {mv:>8} {:>10}", sci(dt));
+        suite.push(
+            BenchRecord::new(format!("forcing/{}", name.replace(' ', "_")), vec![dt])
+                .with_extra("rel_mismatch", rel)
+                .with_extra("outer", outer as f64)
+                .with_extra("matvecs", mv as f64),
+        );
     }
     println!("(tight constant tolerances oversolve early Newton steps — the paper's");
     println!(" inexact quadratic forcing gets the same answer with fewer matvecs)");
 }
 
-fn study_hessian(s: &Setup) {
+fn study_hessian(s: &Setup, suite: &mut BenchSuite) {
     println!("\n== Hessian-operator ablation (Gauss-Newton vs full Newton) ==");
     println!("{:<14} {:>10} {:>8} {:>8} {:>10}", "operator", "relres", "outer", "matvecs", "time (s)");
     let fft = PencilFft::new(&s.comm, s.decomp);
@@ -170,6 +207,12 @@ fn study_hessian(s: &Setup) {
         let cfg = RegistrationConfig { beta: 1e-3, hessian, ..Default::default() };
         let (rel, mv, outer, dt) = run(&ws, &t, &r, cfg);
         println!("{name:<14} {rel:>10.4} {outer:>8} {mv:>8} {:>10}", sci(dt));
+        suite.push(
+            BenchRecord::new(format!("hessian/{name}"), vec![dt])
+                .with_extra("rel_mismatch", rel)
+                .with_extra("outer", outer as f64)
+                .with_extra("matvecs", mv as f64),
+        );
     }
     println!("(the paper opts for Gauss-Newton: cheaper matvecs, PSD operator;");
     println!(" full Newton's extra λ terms cost FFTs per matvec for little gain here)");
@@ -184,25 +227,27 @@ fn main() {
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "all".into());
     let s = Setup::new(size);
+    let mut suite = BenchSuite::new("ablations");
     println!("Ablation studies at {size}^3 (synthetic problem, exact velocity known)");
     match study.as_str() {
-        "nt" => study_nt(&s),
-        "kernel" => study_kernel(&s),
-        "reg" => study_reg(&s),
-        "precond" => study_precond(&s),
-        "forcing" => study_forcing(&s),
-        "hessian" => study_hessian(&s),
+        "nt" => study_nt(&s, &mut suite),
+        "kernel" => study_kernel(&s, &mut suite),
+        "reg" => study_reg(&s, &mut suite),
+        "precond" => study_precond(&s, &mut suite),
+        "forcing" => study_forcing(&s, &mut suite),
+        "hessian" => study_hessian(&s, &mut suite),
         "all" => {
-            study_nt(&s);
-            study_kernel(&s);
-            study_reg(&s);
-            study_precond(&s);
-            study_forcing(&s);
-            study_hessian(&s);
+            study_nt(&s, &mut suite);
+            study_kernel(&s, &mut suite);
+            study_reg(&s, &mut suite);
+            study_precond(&s, &mut suite);
+            study_forcing(&s, &mut suite);
+            study_hessian(&s, &mut suite);
         }
         other => {
             eprintln!("unknown study '{other}' (nt|kernel|reg|precond|forcing|hessian|all)");
             std::process::exit(2);
         }
     }
+    write_suite(&suite);
 }

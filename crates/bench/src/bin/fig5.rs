@@ -6,11 +6,12 @@
 //!
 //! Usage: `fig5 [--size 64] [--out figures]`
 
-use diffreg_bench::arg_list;
+use diffreg_bench::{arg_list, write_suite};
 use diffreg_comm::{SerialComm, Timers};
 use diffreg_grid::{Decomp, Grid};
 use diffreg_imgsim::{axial_slice, gather_full, write_pgm};
 use diffreg_pfft::PencilFft;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
 use diffreg_transport::{SemiLagrangian, Workspace};
 
 fn main() {
@@ -32,8 +33,10 @@ fn main() {
 
     let rho_t = diffreg_imgsim::template(&grid, ws.block());
     let v_star = diffreg_imgsim::exact_velocity(&grid, ws.block(), 0.5);
+    let t0 = std::time::Instant::now();
     let sl = SemiLagrangian::new(&ws, &v_star, 4);
     let rho_r = sl.solve_state(&ws, &rho_t).pop().unwrap();
+    let transport_s = t0.elapsed().as_secs_f64();
 
     let mut resid = rho_r.clone();
     resid.axpy(-1.0, &rho_t);
@@ -54,4 +57,13 @@ fn main() {
     println!("Figure 5 data written to {out}/fig5_*.pgm (axial slice {mid})");
     println!("  grid: {size}^3, |residual|_max = {max_res:.4}, SSD = {ssd:.6}");
     println!("  (dark areas of fig5_residual.pgm = large pre-registration mismatch)");
+
+    let mut suite = BenchSuite::new("fig5");
+    suite.push(
+        BenchRecord::new(format!("transport/{size}"), vec![transport_s])
+            .with_extra("n", size as f64)
+            .with_extra("residual_max", max_res)
+            .with_extra("ssd", ssd),
+    );
+    write_suite(&suite);
 }

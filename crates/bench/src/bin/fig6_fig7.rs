@@ -8,13 +8,14 @@
 //!
 //! Usage: `fig6_fig7 [--size 32] [--beta 1e-3] [--out figures]`
 
-use diffreg_bench::arg_list;
+use diffreg_bench::{arg_list, write_suite};
 use diffreg_comm::{SerialComm, Timers};
 use diffreg_core::{det_deformation_gradient, register, RegistrationConfig};
 use diffreg_grid::{Decomp, Grid};
 use diffreg_imgsim::{axial_slice, gather_full, write_pgm};
 use diffreg_optim::NewtonOptions;
 use diffreg_pfft::PencilFft;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
 use diffreg_transport::Workspace;
 
 fn main() {
@@ -48,9 +49,10 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let res = register(&ws, &rho_t, &rho_r, cfg);
+    let solve_s = t0.elapsed().as_secs_f64();
     println!(
         "  done in {:.1}s: {} Newton iterations, {} matvecs, status {:?}",
-        t0.elapsed().as_secs_f64(),
+        solve_s,
         res.report.outer_iterations(),
         res.hessian_matvecs,
         res.report.status
@@ -95,5 +97,18 @@ fn main() {
         write_pgm(format!("{out}/{name}.pgm"), &plane, grid.n[2], grid.n[1], lo, hi).unwrap();
     }
     println!("Figures 6/7 slices written to {out}/fig6_*.pgm, {out}/fig7_*.pgm (axial slice {mid})");
+
+    let mut suite = BenchSuite::new("fig6_fig7");
+    suite.push(
+        BenchRecord::new(format!("register/{size}"), vec![solve_s])
+            .with_extra("n", size as f64)
+            .with_extra("beta", beta)
+            .with_extra("outer", res.report.outer_iterations() as f64)
+            .with_extra("matvecs", res.hessian_matvecs as f64)
+            .with_extra("rel_mismatch", res.relative_mismatch())
+            .with_extra("det_min", res.det_grad.min)
+            .with_extra("det_max", res.det_grad.max),
+    );
+    write_suite(&suite);
     assert!(res.det_grad.diffeomorphic, "deformation must be diffeomorphic (paper Fig. 7)");
 }

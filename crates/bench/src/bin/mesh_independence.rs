@@ -9,12 +9,13 @@
 //!
 //! Usage: `mesh_independence [--sizes 8,12,16,24,32] [--beta 1e-2]`
 
-use diffreg_bench::{arg_list, sci};
+use diffreg_bench::{arg_list, sci, write_suite};
 use diffreg_comm::{SerialComm, Timers};
 use diffreg_core::{register, RegistrationConfig};
 use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
 use diffreg_optim::NewtonOptions;
 use diffreg_pfft::PencilFft;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
 use diffreg_transport::{SemiLagrangian, Workspace};
 
 fn main() {
@@ -33,6 +34,7 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
+    let mut suite = BenchSuite::new("mesh_independence");
     let mut iters = Vec::new();
     for &n in &sizes {
         let grid = Grid::cubic(n);
@@ -52,6 +54,14 @@ fn main() {
         };
         let t0 = std::time::Instant::now();
         let out = register(&ws, &t, &r, cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        suite.push(
+            BenchRecord::new(format!("n/{n}"), vec![dt])
+                .with_extra("unknowns", (3 * grid.total()) as f64)
+                .with_extra("outer", out.report.outer_iterations() as f64)
+                .with_extra("matvecs", out.hessian_matvecs as f64)
+                .with_extra("rel_mismatch", out.relative_mismatch()),
+        );
         println!(
             "{:<8} {:>12} {:>8} {:>9} {:>10.4} {:>10}",
             format!("{n}^3"),
@@ -59,7 +69,7 @@ fn main() {
             out.report.outer_iterations(),
             out.hessian_matvecs,
             out.relative_mismatch(),
-            sci(t0.elapsed().as_secs_f64()),
+            sci(dt),
         );
         iters.push((out.report.outer_iterations(), out.hessian_matvecs));
     }
@@ -70,4 +80,5 @@ fn main() {
         (sizes.last().unwrap() / sizes.first().unwrap()).pow(3)
     );
     println!("mesh-independent, as the paper reports. (β-dependence is Table V / `table5`.)");
+    write_suite(&suite);
 }

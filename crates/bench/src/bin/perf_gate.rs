@@ -1,0 +1,186 @@
+//! CI performance-regression gate over the kernel microbenchmark suite.
+//!
+//! Three modes:
+//!
+//! * `perf_gate emit --out <path>` — run the kernel suite (shared with
+//!   `cargo bench -p diffreg-bench`) and write the canonical
+//!   `diffreg-bench-v1` JSON to `<path>`. `--inflate X` multiplies every
+//!   sample by `X` after measuring; CI uses it to prove the gate trips on a
+//!   synthetic slowdown without waiting for a real one.
+//! * `perf_gate check <baseline.json> <current.json>` — compare medians
+//!   record-by-record; exit 1 when any record is more than `--threshold`
+//!   (default 0.25 = 25%) slower or a baseline record is missing. When the
+//!   two suites were measured on different hosts the comparison is printed
+//!   but advisory (exit 0) unless `--strict-host` is given — medians are
+//!   only meaningful same-host.
+//! * `perf_gate selftest` — deterministic in-memory check (no timing) that
+//!   the gate logic passes identical suites, fails a 30% slowdown at the
+//!   25% threshold, never fails on speedups, and flags missing records.
+//!
+//! Used by `scripts/perf_gate.sh`; the checked-in baseline lives at
+//! `BENCH_kernels.json`.
+
+use diffreg_bench::kernels::{run_kernel_suite, K, WARMUP};
+use diffreg_telemetry::{compare_suites, BenchRecord, BenchSuite};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {
+    arg_value(args, key).map(|v| v.parse().expect("bad numeric argument")).unwrap_or(default)
+}
+
+fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    arg_value(args, key).map(|v| v.parse().expect("bad integer argument")).unwrap_or(default)
+}
+
+fn emit(args: &[String]) -> ExitCode {
+    let out = arg_value(args, "--out").unwrap_or_else(|| "results/kernels.json".into());
+    let warmup = arg_usize(args, "--warmup", WARMUP);
+    let k = arg_usize(args, "--samples", K);
+    let sizes: Vec<usize> = arg_value(args, "--sizes")
+        .map(|v| v.split(',').map(|s| s.parse().expect("bad size list")).collect())
+        .unwrap_or_else(|| vec![32]);
+    let inflate = arg_f64(args, "--inflate", 1.0);
+
+    let mut suite = run_kernel_suite(warmup, k, &sizes);
+    if inflate != 1.0 {
+        eprintln!("[perf_gate] inflating all samples by {inflate} (synthetic slowdown)");
+        for r in &mut suite.records {
+            for s in &mut r.samples_s {
+                *s *= inflate;
+            }
+        }
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[perf_gate] cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match std::fs::write(&out, format!("{}\n", suite.to_json())) {
+        Ok(()) => {
+            println!("[perf_gate] wrote {} ({} records)", out, suite.records.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[perf_gate] cannot write {out}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<BenchSuite, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchSuite::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check(args: &[String]) -> ExitCode {
+    // Positionals come right after the subcommand; flags follow.
+    let (Some(baseline_path), Some(current_path)) = (
+        args.get(1).filter(|a| !a.starts_with("--")),
+        args.get(2).filter(|a| !a.starts_with("--")),
+    ) else {
+        eprintln!("usage: perf_gate check <baseline.json> <current.json> [--threshold 0.25] [--strict-host]");
+        return ExitCode::from(2);
+    };
+    let threshold = arg_f64(args, "--threshold", 0.25);
+    let strict_host = args.iter().any(|a| a == "--strict-host");
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("[perf_gate] {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare_suites(&baseline, &current, threshold);
+    print!("{}", report.render());
+    if report.failed() {
+        if !report.host_match && !strict_host {
+            println!(
+                "[perf_gate] hosts differ ({} vs {}): result is advisory, not failing the build",
+                baseline.host, current.host
+            );
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Deterministic gate-logic check: no clocks, pure arithmetic.
+fn selftest() -> ExitCode {
+    fn suite(scale: f64) -> BenchSuite {
+        let mut s = BenchSuite::new("kernels");
+        s.host = "selftest".into();
+        for (name, base) in [
+            ("fft3d/forward/32", 1.0e-3),
+            ("interpolation/Tricubic/32", 4.0e-3),
+            ("solver/hessian_matvec/16", 2.0e-2),
+        ] {
+            s.push(BenchRecord::new(
+                name,
+                vec![base * scale, 1.1 * base * scale, 0.9 * base * scale],
+            ));
+        }
+        s
+    }
+    let base = suite(1.0);
+    let mut failures = Vec::new();
+
+    let same = compare_suites(&base, &suite(1.0), 0.25);
+    if same.failed() {
+        failures.push("identical suites must pass");
+    }
+    let slow = compare_suites(&base, &suite(1.3), 0.25);
+    if !slow.failed() || !slow.findings.iter().all(|f| f.regressed) {
+        failures.push("a 30% slowdown must fail the 25% gate on every record");
+    }
+    let fast = compare_suites(&base, &suite(0.7), 0.25);
+    if fast.failed() {
+        failures.push("speedups must never fail");
+    }
+    let mut partial = suite(1.0);
+    partial.records.pop();
+    if !compare_suites(&base, &partial, 0.25).failed() {
+        failures.push("missing baseline records must fail");
+    }
+    // JSON round-trip through the exact on-disk schema.
+    let back = BenchSuite::from_json_str(&base.to_json().to_string());
+    if back.as_ref() != Ok(&base) {
+        failures.push("suite must round-trip through JSON");
+    }
+
+    print!("{}", slow.render());
+    if failures.is_empty() {
+        println!("[perf_gate] selftest PASS (30% synthetic slowdown trips the 25% gate)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("[perf_gate] selftest FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => emit(&args),
+        Some("check") => check(&args),
+        Some("selftest") => selftest(),
+        _ => {
+            eprintln!("usage: perf_gate <emit|check|selftest> [options]");
+            eprintln!("  emit  --out results/kernels.json [--warmup N] [--samples K] [--sizes 32] [--inflate X]");
+            eprintln!("  check <baseline.json> <current.json> [--threshold 0.25] [--strict-host]");
+            eprintln!("  selftest");
+            ExitCode::from(2)
+        }
+    }
+}

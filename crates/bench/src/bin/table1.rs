@@ -8,15 +8,20 @@
 //!
 //! Usage: `table1 [--sizes 16,32] [--tasks 1,4,16] [--skip-measured]`
 
-use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_bench::{
+    arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, row_record,
+    write_suite, Problem,
+};
 use diffreg_core::RegistrationConfig;
 use diffreg_optim::NewtonOptions;
 use diffreg_perfmodel::{Machine, SolveShape};
+use diffreg_telemetry::BenchSuite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let sizes = arg_list(&args, "--sizes", &[16, 32]);
     let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
+    let mut suite = BenchSuite::new("table1");
 
     if !arg_flag(&args, "--skip-measured") {
         print_header("Table I (measured): synthetic problem, simulated distributed machine");
@@ -29,6 +34,7 @@ fn main() {
                 };
                 let m = measured_run([n, n, n], p, Problem::Synthetic, cfg);
                 print_row("", &m.row);
+                suite.push(row_record(format!("measured/{n}^3/p{p}"), &m.row));
             }
         }
         println!("(measured on one physical core; per-phase times are max over simulated ranks)");
@@ -56,6 +62,7 @@ fn main() {
         let mut row = modeled_row(&Machine::MAVERICK, [n, n, n], p, &shape);
         row.nodes = nodes;
         print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+        suite.push(row_record(format!("modeled/{n}^3/p{p}"), &row).with_extra("paper_s", t_paper));
     }
     println!("\nShape checks (paper §IV-B):");
     let t32 = modeled_row(&Machine::MAVERICK, [256; 3], 32, &shape).time_to_solution;
@@ -66,4 +73,5 @@ fn main() {
         100.0 * diffreg_perfmodel::strong_efficiency(t32, 32, t512, 512),
         100.0 * diffreg_perfmodel::strong_efficiency(t32, 32, t1024, 1024)
     );
+    write_suite(&suite);
 }

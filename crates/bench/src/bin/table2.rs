@@ -6,15 +6,20 @@
 //!
 //! Usage: `table2 [--sizes 16,24] [--tasks 2,8] [--skip-measured]`
 
-use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_bench::{
+    arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, row_record,
+    write_suite, Problem,
+};
 use diffreg_core::RegistrationConfig;
 use diffreg_optim::NewtonOptions;
 use diffreg_perfmodel::{Machine, SolveShape};
+use diffreg_telemetry::BenchSuite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let sizes = arg_list(&args, "--sizes", &[16, 24]);
     let tasks = arg_list(&args, "--tasks", &[2, 8]);
+    let mut suite = BenchSuite::new("table2");
 
     if !arg_flag(&args, "--skip-measured") {
         print_header("Table II (measured): synthetic problem, simulated distributed machine");
@@ -27,6 +32,7 @@ fn main() {
                 };
                 let m = measured_run([n, n, n], p, Problem::Synthetic, cfg);
                 print_row("", &m.row);
+                suite.push(row_record(format!("measured/{n}^3/p{p}"), &m.row));
             }
         }
     }
@@ -45,8 +51,10 @@ fn main() {
         let mut row = modeled_row(&Machine::STAMPEDE, [n, n, n], p, &shape);
         row.nodes = nodes;
         print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+        suite.push(row_record(format!("modeled/{n}^3/p{p}"), &row).with_extra("paper_s", t_paper));
     }
     println!("\nShape check: the largest run (1024^3, 3.2 billion velocity unknowns, 2048 tasks)");
     let t = modeled_row(&Machine::STAMPEDE, [1024; 3], 2048, &shape).time_to_solution;
     println!("  modeled time-to-solution: {:.1} s (paper: 85.7 s)", t);
+    write_suite(&suite);
 }

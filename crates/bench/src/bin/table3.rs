@@ -7,15 +7,20 @@
 //!
 //! Usage: `table3 [--size 16] [--tasks 1,4,16] [--skip-measured]`
 
-use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_bench::{
+    arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, row_record,
+    write_suite, Problem,
+};
 use diffreg_core::RegistrationConfig;
 use diffreg_optim::NewtonOptions;
 use diffreg_perfmodel::{Machine, SolveShape};
+use diffreg_telemetry::BenchSuite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let size = arg_list(&args, "--size", &[16])[0];
     let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
+    let mut suite = BenchSuite::new("table3");
 
     if !arg_flag(&args, "--skip-measured") {
         print_header("Table III (measured): incompressible synthetic problem (div v = 0)");
@@ -28,6 +33,7 @@ fn main() {
             };
             let m = measured_run([size, size, size], p, Problem::SyntheticIncompressible, cfg);
             print_row("", &m.row);
+            suite.push(row_record(format!("measured/{size}^3/p{p}"), &m.row));
         }
         println!("(volume preservation of the measured runs is asserted in tests/incompressible.rs)");
     }
@@ -42,6 +48,7 @@ fn main() {
         let mut row = modeled_row(&Machine::MAVERICK, [128; 3], p, &shape);
         row.nodes = nodes;
         print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+        suite.push(row_record(format!("modeled/128^3/p{p}"), &row).with_extra("paper_s", t_paper));
     }
     let t1 = modeled_row(&Machine::MAVERICK, [128; 3], 1, &shape).time_to_solution;
     let t32 = modeled_row(&Machine::MAVERICK, [128; 3], 32, &shape).time_to_solution;
@@ -50,4 +57,5 @@ fn main() {
         t1 / t32,
         148.0 / 5.69
     );
+    write_suite(&suite);
 }

@@ -8,16 +8,21 @@
 //!
 //! Usage: `table4 [--scale 8] [--tasks 1,4,16] [--skip-measured]`
 
-use diffreg_bench::{arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, Problem};
+use diffreg_bench::{
+    arg_flag, arg_list, measured_run, modeled_row, print_header, print_row, row_record,
+    write_suite, Problem,
+};
 use diffreg_core::RegistrationConfig;
 use diffreg_optim::NewtonOptions;
 use diffreg_perfmodel::{Machine, SolveShape};
+use diffreg_telemetry::BenchSuite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = arg_list(&args, "--scale", &[8])[0];
     let tasks = arg_list(&args, "--tasks", &[1, 4, 16]);
     let n = [256 / scale, 300 / scale, 256 / scale];
+    let mut suite = BenchSuite::new("table4");
 
     if !arg_flag(&args, "--skip-measured") {
         print_header(&format!(
@@ -32,6 +37,10 @@ fn main() {
             };
             let m = measured_run(n, p, Problem::Brain, cfg);
             print_row("", &m.row);
+            suite.push(row_record(
+                format!("measured/{}x{}x{}/p{p}", n[0], n[1], n[2]),
+                &m.row,
+            ));
         }
     }
 
@@ -44,6 +53,9 @@ fn main() {
         let mut row = modeled_row(&Machine::MAVERICK, [256, 300, 256], p, &shape);
         row.nodes = nodes;
         print_row(&format!("(paper: {})", diffreg_bench::sci(t_paper)), &row);
+        suite.push(
+            row_record(format!("modeled/256x300x256/p{p}"), &row).with_extra("paper_s", t_paper),
+        );
     }
     let t1 = modeled_row(&Machine::MAVERICK, [256, 300, 256], 1, &shape).time_to_solution;
     let t256 = modeled_row(&Machine::MAVERICK, [256, 300, 256], 256, &shape).time_to_solution;
@@ -52,4 +64,5 @@ fn main() {
         t1 / t256,
         1340.0 / 12.0
     );
+    write_suite(&suite);
 }

@@ -9,11 +9,12 @@
 //!
 //! Usage: `table5 [--size 16] [--betas 1e-1,1e-3,1e-5]`
 
-use diffreg_bench::{arg_list, sci};
+use diffreg_bench::{arg_list, sci, write_suite};
 use diffreg_core::{register, RegistrationConfig};
 use diffreg_grid::{Decomp, Grid};
 use diffreg_optim::NewtonOptions;
 use diffreg_pfft::PencilFft;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
 use diffreg_transport::Workspace;
 
 fn main() {
@@ -37,6 +38,7 @@ fn main() {
     let ws = Workspace::new(&comm, &decomp, &fft, &timers);
     let (rho_r, rho_t) = diffreg_imgsim::two_subject_pair(&grid, ws.block());
 
+    let mut suite = BenchSuite::new("table5");
     let mut base_time = None;
     let paper = [(43usize, 24.2, 1.0), (217, 111.0, 4.6), (1689, 858.0, 35.0)];
     for (i, &beta) in betas.iter().enumerate() {
@@ -67,7 +69,15 @@ fn main() {
             out.relative_mismatch(),
             paper_note
         );
+        suite.push(
+            BenchRecord::new(format!("beta/{beta:.0E}"), vec![dt])
+                .with_extra("beta", beta)
+                .with_extra("matvecs", out.hessian_matvecs as f64)
+                .with_extra("rel_time", rel_time)
+                .with_extra("rel_mismatch", out.relative_mismatch()),
+        );
     }
     println!("\nShape check: the matvec count and time must grow strongly as β decreases");
     println!("(the biharmonic preconditioner is mesh-independent but not β-independent, §IV-C).");
+    write_suite(&suite);
 }

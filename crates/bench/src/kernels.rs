@@ -1,0 +1,157 @@
+//! The kernel microbenchmark suite: distributed FFT, tricubic/trilinear
+//! interpolation, semi-Lagrangian transport, gradient evaluation, and the
+//! Gauss-Newton Hessian matvec — the building blocks whose costs the
+//! paper's complexity model (§III-C4) accounts for.
+//!
+//! Lives in the library (not the bench target) so three consumers share one
+//! definition: `cargo bench -p diffreg-bench` (the thin `benches/kernels.rs`
+//! shim), the `perf_gate` binary that CI runs against the checked-in
+//! baseline, and anything that wants the suite as data. Timing goes through
+//! `testkit::bench_named` (median-of-K wall clock after warmup); results
+//! come back as a [`BenchSuite`] in the canonical results schema.
+
+use diffreg_comm::{SerialComm, Timers};
+use diffreg_core::{RegProblem, RegistrationConfig};
+use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
+use diffreg_interp::{ghosted, Kernel, ScatterPlan};
+use diffreg_optim::GaussNewtonProblem;
+use diffreg_pfft::PencilFft;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
+use diffreg_testkit::bench_named;
+use diffreg_transport::{SemiLagrangian, Workspace};
+
+/// Default warmup runs per benchmark.
+pub const WARMUP: usize = 2;
+/// Default timed samples per benchmark (median over `K`).
+pub const K: usize = 9;
+
+struct Ctx {
+    grid: Grid,
+    comm: SerialComm,
+    decomp: Decomp,
+}
+
+impl Ctx {
+    fn new(n: usize) -> Self {
+        let grid = Grid::cubic(n);
+        let comm = SerialComm::new();
+        let decomp = Decomp::new(grid, 1);
+        Self { grid, comm, decomp }
+    }
+}
+
+fn push(suite: &mut BenchSuite, name: &str, warmup: usize, k: usize, f: impl FnMut()) {
+    let r = bench_named(name, warmup, k, f);
+    suite.push(BenchRecord::new(r.name.clone(), r.samples_s.clone()));
+}
+
+fn bench_fft(suite: &mut BenchSuite, warmup: usize, k: usize, sizes: &[usize]) {
+    for &n in sizes {
+        let ctx = Ctx::new(n);
+        let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+        let timers = Timers::new();
+        let field = ScalarField::from_fn(&ctx.grid, fft.spatial_block(), |x| {
+            x[0].sin() + x[1].cos() * x[2].sin()
+        });
+        push(suite, &format!("fft3d/forward/{n}"), warmup, k, || {
+            fft.forward(&field, &timers);
+        });
+        let spec = fft.forward(&field, &timers);
+        push(suite, &format!("fft3d/inverse/{n}"), warmup, k, || {
+            fft.inverse(&spec, &timers);
+        });
+        push(suite, &format!("fft3d/gradient/{n}"), warmup, k, || {
+            fft.gradient(&field, &timers);
+        });
+    }
+}
+
+fn bench_interp(suite: &mut BenchSuite, warmup: usize, k: usize, sizes: &[usize]) {
+    for &n in sizes {
+        let ctx = Ctx::new(n);
+        let timers = Timers::new();
+        let decomp = ctx.decomp;
+        let block = decomp.block(0, diffreg_grid::Layout::Spatial);
+        let field = ScalarField::from_fn(&ctx.grid, block, |x| x[0].sin() * x[1].cos());
+        let ghost = ghosted(&ctx.comm, &decomp, &field);
+        // Departure-like points: every grid point shifted by a fraction of a cell.
+        let pts: Vec<[f64; 3]> = (0..block.len())
+            .map(|l| {
+                let gi = block.global_of_local(l);
+                [
+                    ctx.grid.coord(0, gi[0]) + 0.37,
+                    ctx.grid.coord(1, gi[1]) - 0.21,
+                    ctx.grid.coord(2, gi[2]) + 0.11,
+                ]
+            })
+            .collect();
+        let plan = ScatterPlan::build(&ctx.comm, &decomp, &pts, &timers);
+        for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
+            push(suite, &format!("interpolation/{kernel:?}/{n}"), warmup, k, || {
+                plan.interpolate(&ctx.comm, &ghost, kernel, &timers);
+            });
+        }
+    }
+}
+
+fn bench_transport(suite: &mut BenchSuite, warmup: usize, k: usize) {
+    let n = 32;
+    let ctx = Ctx::new(n);
+    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
+    let v = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
+        [0.4 * x[1].sin(), 0.3 * x[0].cos(), 0.2 * x[2].sin()]
+    });
+    let rho0 = ScalarField::from_fn(&ctx.grid, ws.block(), |x| x[0].sin() + x[1].cos());
+    push(suite, "transport/semi_lagrangian_setup/32", warmup, k, || {
+        SemiLagrangian::new(&ws, &v, 4);
+    });
+    let sl = SemiLagrangian::new(&ws, &v, 4);
+    push(suite, "transport/state_solve_nt4/32", warmup, k, || {
+        sl.solve_state(&ws, &rho0);
+    });
+    let lam1 = rho0.clone();
+    push(suite, "transport/adjoint_solve_nt4/32", warmup, k, || {
+        sl.solve_adjoint(&ws, &lam1);
+    });
+}
+
+fn bench_solver(suite: &mut BenchSuite, warmup: usize, k: usize) {
+    let n = 16;
+    let ctx = Ctx::new(n);
+    let fft = PencilFft::new(&ctx.comm, ctx.decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(&ctx.comm, &ctx.decomp, &fft, &timers);
+    let t = diffreg_imgsim::template(&ctx.grid, ws.block());
+    let v_star = diffreg_imgsim::exact_velocity(&ctx.grid, ws.block(), 0.5);
+    let sl = SemiLagrangian::new(&ws, &v_star, 4);
+    let r = sl.solve_state(&ws, &t).pop().unwrap();
+    let cfg = RegistrationConfig::default();
+    let mut prob = RegProblem::new(&ws, &t, &r, cfg);
+    let v = VectorField::zeros(ws.block());
+    push(suite, "solver/gradient_eval/16", warmup, k, || {
+        prob.linearize(&v);
+    });
+    prob.linearize(&v);
+    let dir = VectorField::from_fn(&ctx.grid, ws.block(), |x| {
+        [0.1 * x[1].sin(), 0.1 * x[0].cos(), 0.1 * x[2].sin()]
+    });
+    push(suite, "solver/hessian_matvec/16", warmup, k, || {
+        prob.hessian_vec(&dir);
+    });
+}
+
+/// Runs the full kernel suite (warmup + K samples each), printing one JSON
+/// line per benchmark as it goes, and returns the suite in the canonical
+/// results schema. `sizes` controls the FFT/interpolation grid sweep (the
+/// transport/solver groups are fixed-size); the perf gate uses `&[32]` to
+/// stay fast, `cargo bench` uses `&[32, 64]`.
+pub fn run_kernel_suite(warmup: usize, k: usize, sizes: &[usize]) -> BenchSuite {
+    let mut suite = BenchSuite::new("kernels");
+    bench_fft(&mut suite, warmup, k, sizes);
+    bench_interp(&mut suite, warmup, k, sizes);
+    bench_transport(&mut suite, warmup, k);
+    bench_solver(&mut suite, warmup, k);
+    suite
+}

@@ -11,6 +11,11 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
+pub mod results;
+
+pub use results::{results_dir, row_record, write_suite};
+
 use diffreg_comm::{run_threaded, Comm, SerialComm, Timers};
 use diffreg_core::{register, RegistrationConfig, RegistrationOutcome};
 use diffreg_grid::{Decomp, Grid, ScalarField};

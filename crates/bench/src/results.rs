@@ -1,0 +1,134 @@
+//! Results emission shared by every bench binary: each binary prints its
+//! human-readable table *and* writes a machine-readable
+//! `results/<suite>.json` through the canonical `diffreg-telemetry`
+//! serializer — the same schema the CI perf gate consumes, so a table
+//! regeneration run and a gate run are directly comparable.
+
+use crate::Row;
+use diffreg_telemetry::{BenchRecord, BenchSuite};
+use std::path::PathBuf;
+
+/// Directory that receives `<suite>.json` files. Override with the
+/// `DIFFREG_RESULTS_DIR` environment variable (default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("DIFFREG_RESULTS_DIR")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Converts one scaling-table [`Row`] into a [`BenchRecord`]. The single
+/// sample is the time-to-solution; everything else the tables print rides
+/// in the `extra` block so nothing is lost going table -> JSON.
+pub fn row_record(name: impl Into<String>, row: &Row) -> BenchRecord {
+    let mut rec = BenchRecord::new(name, vec![row.time_to_solution])
+        .with_extra("nx", row.n[0] as f64)
+        .with_extra("ny", row.n[1] as f64)
+        .with_extra("nz", row.n[2] as f64)
+        .with_extra("nodes", row.nodes as f64)
+        .with_extra("tasks", row.tasks as f64)
+        .with_extra("fft_comm", row.fft_comm)
+        .with_extra("fft_exec", row.fft_exec)
+        .with_extra("interp_comm", row.interp_comm)
+        .with_extra("interp_exec", row.interp_exec)
+        .with_extra("matvecs", row.matvecs as f64);
+    if row.rel_mismatch.is_finite() {
+        rec = rec.with_extra("rel_mismatch", row.rel_mismatch);
+    }
+    rec
+}
+
+/// Writes `suite` to [`results_dir()`]`/<suite>.json` and prints the path
+/// (binaries call this last so the location is always visible). Errors are
+/// reported but non-fatal: a read-only checkout must not break a table run.
+pub fn write_suite(suite: &BenchSuite) -> Option<PathBuf> {
+    match suite.write_results(results_dir()) {
+        Ok(path) => {
+            println!("\n[results] wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[results] could not write {}.json: {e}", suite.suite);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        Row {
+            n: [16, 20, 16],
+            nodes: 1,
+            tasks: 4,
+            time_to_solution: 2.5,
+            fft_comm: 0.5,
+            fft_exec: 0.75,
+            interp_comm: 0.25,
+            interp_exec: 1.0,
+            matvecs: 12,
+            rel_mismatch: 0.07,
+        }
+    }
+
+    #[test]
+    fn row_record_carries_all_table_columns() {
+        let rec = row_record("measured/16x20x16/p4", &sample_row());
+        assert_eq!(rec.samples_s, vec![2.5]);
+        assert_eq!(rec.median_s(), 2.5);
+        let get = |k: &str| {
+            rec.extra
+                .iter()
+                .find(|(key, _)| key == k)
+                .unwrap_or_else(|| panic!("missing extra {k}"))
+                .1
+        };
+        assert_eq!(get("tasks"), 4.0);
+        assert_eq!(get("ny"), 20.0);
+        assert_eq!(get("fft_comm"), 0.5);
+        assert_eq!(get("matvecs"), 12.0);
+        assert_eq!(get("rel_mismatch"), 0.07);
+    }
+
+    #[test]
+    fn modeled_rows_drop_nan_mismatch() {
+        let mut row = sample_row();
+        row.rel_mismatch = f64::NAN;
+        let rec = row_record("modeled/x", &row);
+        assert!(rec.extra.iter().all(|(k, _)| k != "rel_mismatch"));
+        // NaN never reaches the JSON layer (which would render it null).
+        let mut suite = BenchSuite::new("t");
+        suite.push(rec);
+        assert!(!suite.to_json().to_string().contains("null"));
+    }
+
+    #[test]
+    fn results_dir_honors_env_override() {
+        // Serialize with other env-reading tests via a unique var; set/unset
+        // in one test to avoid cross-test races.
+        std::env::set_var("DIFFREG_RESULTS_DIR", "/tmp/diffreg-results-test");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/diffreg-results-test"));
+        std::env::remove_var("DIFFREG_RESULTS_DIR");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+
+    #[test]
+    fn suite_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("diffreg-bench-results-{}", std::process::id()));
+        let mut suite = BenchSuite::new("unit");
+        suite.push(row_record("measured/row", &sample_row()));
+        let path = suite.write_results(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut back = BenchSuite::from_json_str(&text).unwrap();
+        // JSON objects are key-sorted, so `extra` comes back ordered:
+        // compare order-insensitively.
+        for rec in back.records.iter_mut().chain(suite.records.iter_mut()) {
+            rec.extra.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        assert_eq!(back, suite);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -389,3 +389,34 @@ impl<C: Comm> Comm for ChaosComm<C> {
         self.inner.reset_stats()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::run_threaded;
+
+    /// The decorator must be stats-transparent: traffic and blocked-time
+    /// counters accrued by the inner communicator are visible unchanged
+    /// through the chaos layer, and `reset_stats` reaches the inner comm.
+    #[test]
+    fn decorator_forwards_traffic_stats() {
+        let stats = run_threaded(2, |c| {
+            let chaos = ChaosComm::new(c, ChaosConfig::seeded(7).with_latency(1.0, 50));
+            let peer = 1 - chaos.rank();
+            chaos.send(peer, 3, vec![0u8; 64]);
+            let _: Vec<u8> = chaos.recv(peer, 3);
+            let seen = chaos.stats();
+            // Same snapshot as the inner endpoint reports directly.
+            assert_eq!(seen, chaos.inner().stats());
+            chaos.reset_stats();
+            assert_eq!(chaos.inner().stats(), CommStats::default());
+            seen
+        });
+        for s in stats {
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 64);
+            assert_eq!(s.messages_received, 1);
+            assert_eq!(s.bytes_received, 64);
+        }
+    }
+}

@@ -51,6 +51,6 @@ mod traits;
 pub use chaos::{ChaosComm, ChaosConfig};
 pub use error::{tag_display, CollOp, CommError, RankFailure, TAG_INTERNAL};
 pub use serial::SerialComm;
-pub use stats::{CommStats, Timers};
+pub use stats::{CommStats, TimerGuard, Timers};
 pub use threaded::{run_threaded, run_threaded_checked, ThreadComm};
 pub use traits::{Comm, CommData, ReduceOp};

@@ -16,6 +16,11 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Number of point-to-point messages received (direct channel receives
+    /// and pending-queue pops both count; self-receives do not).
+    pub messages_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
     /// Wall-clock seconds this rank spent blocked in receives and barriers.
     pub blocked_seconds: f64,
 }
@@ -25,6 +30,8 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         self.messages_sent += other.messages_sent;
         self.bytes_sent += other.bytes_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_received += other.bytes_received;
         self.blocked_seconds += other.blocked_seconds;
     }
 }
@@ -54,6 +61,16 @@ impl Timers {
     /// Adds `seconds` to phase `key` directly.
     pub fn add(&self, key: &'static str, seconds: f64) {
         *self.map.borrow_mut().entry(key).or_insert(0.0) += seconds;
+    }
+
+    /// Starts an RAII-scoped timing for phase `key`: the elapsed wall-clock
+    /// time is added when the returned guard drops. Guards nest freely —
+    /// including re-entrantly on the same key, where each guard contributes
+    /// its own elapsed interval (so nested same-key scopes double-count by
+    /// design, exactly like nested [`Timers::time`] closures).
+    #[must_use = "the timing is recorded when the guard drops"]
+    pub fn scoped(&self, key: &'static str) -> TimerGuard<'_> {
+        TimerGuard { timers: self, key, t0: Instant::now() }
     }
 
     /// Increments an event counter (e.g. number of FFTs, interpolated points).
@@ -98,6 +115,20 @@ impl Timers {
     }
 }
 
+/// RAII guard from [`Timers::scoped`]: records the elapsed time on drop.
+#[derive(Debug)]
+pub struct TimerGuard<'a> {
+    timers: &'a Timers,
+    key: &'static str,
+    t0: Instant,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        self.timers.add(self.key, self.t0.elapsed().as_secs_f64());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,11 +157,88 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CommStats { messages_sent: 1, bytes_sent: 10, blocked_seconds: 0.5 };
-        let b = CommStats { messages_sent: 2, bytes_sent: 20, blocked_seconds: 0.25 };
+        let mut a = CommStats {
+            messages_sent: 1,
+            bytes_sent: 10,
+            messages_received: 4,
+            bytes_received: 40,
+            blocked_seconds: 0.5,
+        };
+        let b = CommStats {
+            messages_sent: 2,
+            bytes_sent: 20,
+            messages_received: 5,
+            bytes_received: 50,
+            blocked_seconds: 0.25,
+        };
         a.merge(&b);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.bytes_sent, 30);
+        assert_eq!(a.messages_received, 9);
+        assert_eq!(a.bytes_received, 90);
         assert_eq!(a.blocked_seconds, 0.75);
+    }
+
+    #[test]
+    fn scoped_guard_records_on_drop() {
+        let t = Timers::new();
+        {
+            let _g = t.scoped("phase");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(t.get("phase") > 0.0, "guard drop must record elapsed time");
+    }
+
+    #[test]
+    fn scoped_guards_nest_reentrantly_on_same_key() {
+        let t = Timers::new();
+        {
+            let _outer = t.scoped("k");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = t.scoped("k");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // Inner interval is already recorded while outer is still open.
+            let mid = t.get("k");
+            assert!(mid > 0.0);
+        }
+        // Outer interval covers the inner one, so the total double-counts the
+        // inner window (same semantics as nested `time` closures).
+        let total = t.get("k");
+        assert!(total >= 2.0e-3, "nested same-key scopes accumulate: {total}");
+    }
+
+    #[test]
+    fn guard_drop_order_is_correct_for_disjoint_keys() {
+        let t = Timers::new();
+        let outer = t.scoped("outer");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let inner = t.scoped("inner");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(inner);
+        let inner_s = t.get("inner");
+        drop(outer);
+        let outer_s = t.get("outer");
+        assert!(inner_s > 0.0 && outer_s > 0.0);
+        // Outer guard lived strictly longer than the inner one.
+        assert!(outer_s > inner_s, "outer {outer_s} vs inner {inner_s}");
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        // BTreeMap-backed: key order is lexicographic regardless of
+        // insertion order, so reports are byte-identical across runs.
+        let t = Timers::new();
+        for k in ["zeta", "alpha", "mid"] {
+            t.add(k, 1.0);
+        }
+        let keys: Vec<&str> = t.snapshot().keys().copied().collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+        let u = Timers::new();
+        for k in ["mid", "zeta", "alpha"] {
+            u.add(k, 1.0);
+        }
+        assert_eq!(t.snapshot(), u.snapshot());
     }
 }

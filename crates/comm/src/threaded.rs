@@ -321,6 +321,12 @@ impl ThreadComm {
         s.bytes_sent += bytes as u64;
     }
 
+    fn record_recv(&self, bytes: usize) {
+        let mut s = self.stats.borrow_mut();
+        s.messages_received += 1;
+        s.bytes_received += bytes as u64;
+    }
+
     fn blocking<R>(&self, f: impl FnOnce() -> R) -> R {
         let t0 = Instant::now();
         let r = f();
@@ -357,6 +363,14 @@ impl ThreadComm {
         let t0 = Instant::now();
         let r = self.recv_raw_inner(src, tag);
         self.stats.borrow_mut().blocked_seconds += t0.elapsed().as_secs_f64();
+        // Count receive traffic symmetrically with `record_send`: both the
+        // direct channel path and the pending-queue pop end up here, and
+        // self-receives are excluded just like self-sends.
+        if let Ok((bytes, _, _)) = &r {
+            if src != self.rank {
+                self.record_recv(*bytes);
+            }
+        }
         r
     }
 
@@ -917,7 +931,44 @@ mod tests {
         for s in stats {
             assert_eq!(s.messages_sent, 1);
             assert_eq!(s.bytes_sent, 128);
+            assert_eq!(s.messages_received, 1);
+            assert_eq!(s.bytes_received, 128);
         }
+    }
+
+    #[test]
+    fn stats_count_pending_queue_receives() {
+        // Rank 0 sends two tags; rank 1 receives them out of order, so the
+        // tag-2 message is buffered in the pending queue before its recv.
+        // Both the direct and the pending-pop path must accrue recv stats.
+        let stats = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u64; 16]); // 128 bytes
+                c.send(1, 2, vec![0u64; 4]); // 32 bytes
+            } else {
+                let b: Vec<u64> = c.recv(0, 2); // buffers tag 1 in pending
+                let a: Vec<u64> = c.recv(0, 1); // pops from pending
+                assert_eq!((a.len(), b.len()), (16, 4));
+            }
+            c.stats()
+        });
+        assert_eq!(stats[0].messages_sent, 2);
+        assert_eq!(stats[0].bytes_sent, 160);
+        assert_eq!(stats[0].messages_received, 0);
+        assert_eq!(stats[1].messages_received, 2);
+        assert_eq!(stats[1].bytes_received, 160);
+    }
+
+    #[test]
+    fn self_messages_do_not_count_as_traffic() {
+        let stats = run_threaded(1, |c| {
+            c.send(0, 7, vec![1.0f64; 8]);
+            let _: Vec<f64> = c.recv(0, 7);
+            c.stats()
+        });
+        assert_eq!(stats[0].messages_sent, 0);
+        assert_eq!(stats[0].messages_received, 0);
+        assert_eq!(stats[0].bytes_received, 0);
     }
 
     #[test]

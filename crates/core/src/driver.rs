@@ -90,6 +90,7 @@ pub fn register_from_observed<C: Comm>(
     resume: Option<NewtonResume>,
     observer: impl FnMut(&VectorField, &NewtonCursor),
 ) -> RegistrationOutcome {
+    let _span = diffreg_telemetry::span("registration");
     // The config's kernel choice wins over whatever the caller's workspace
     // carries, so `RegistrationConfig { kernel, .. }` behaves as documented.
     let ws = &Workspace { kernel: cfg.kernel, ..*ws };
@@ -255,6 +256,89 @@ pub fn register_with_continuation_checkpointed_hooked<C: Comm>(
         }
     }
     (outcome.unwrap(), reports)
+}
+
+/// [`register_with_continuation_checkpointed`] with the solver telemetry
+/// stream attached: every accepted Newton step appends one
+/// [`diffreg_telemetry::IterRecord`] to `log` (objective, ‖g‖ and its
+/// relative value, PCG iterations, Eisenstat-Walker η, step length, β
+/// level), and discrete solver events (`"resume"`, `"level"`,
+/// `"checkpoint"`, `"summary"`) are interleaved in stream order — the
+/// paper's per-iteration convergence table, machine-readable.
+///
+/// Collective over `ws.comm`; each rank logs its own (identical) view of the
+/// iteration, so in practice only rank 0's log is written out.
+pub fn register_with_continuation_logged<C: Comm>(
+    ws: &Workspace<C>,
+    rho_t: &ScalarField,
+    rho_r: &ScalarField,
+    cfg: RegistrationConfig,
+    betas: &[f64],
+    store: &CheckpointStore,
+    log: &mut diffreg_telemetry::ConvergenceLog,
+) -> (RegistrationOutcome, Vec<NewtonReport>) {
+    let rank = ws.comm.rank();
+    if let Some(bytes) = store.load(rank) {
+        if let Ok(ck) = SolverCheckpoint::from_bytes(&bytes) {
+            log.event(
+                "resume",
+                ck.level,
+                ck.completed_iters,
+                format!("beta={:e} g0norm={:e}", ck.beta, ck.g0norm),
+            );
+        }
+    }
+    let every = cfg.checkpoint_every;
+    let persist = every > 0 && store.is_enabled();
+    let mut last_level = usize::MAX;
+    let (outcome, reports) = {
+        let log = &mut *log;
+        register_with_continuation_checkpointed_hooked(
+            ws,
+            rho_t,
+            rho_r,
+            cfg,
+            betas,
+            store,
+            |li, cur| {
+                if li != last_level {
+                    log.event(
+                        "level",
+                        li,
+                        cur.completed_iters.saturating_sub(1),
+                        format!("beta={:e}", betas[li]),
+                    );
+                    last_level = li;
+                }
+                log.record(diffreg_telemetry::IterRecord {
+                    level: li,
+                    beta: betas[li],
+                    iter: cur.completed_iters,
+                    objective: cur.objective,
+                    grad_norm: cur.grad_norm,
+                    rel_grad: if cur.g0norm > 0.0 { cur.grad_norm / cur.g0norm } else { 0.0 },
+                    pcg_iters: cur.matvecs,
+                    eta: cur.eta,
+                    step_length: cur.step_length,
+                });
+                if persist && cur.completed_iters % every == 0 {
+                    log.event("checkpoint", li, cur.completed_iters, "saved");
+                }
+            },
+        )
+    };
+    log.event(
+        "summary",
+        betas.len() - 1,
+        reports.last().map(|r| r.outer_iterations()).unwrap_or(0),
+        format!(
+            "status={:?} rel_mismatch={:.3e} matvecs={}",
+            reports.last().map(|r| r.status),
+            outcome.relative_mismatch(),
+            outcome.hessian_matvecs
+        ),
+    );
+    (outcome, reports)
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ pub use distance::Distance;
 pub use driver::{
     register, register_from, register_from_observed, register_with_continuation,
     register_with_continuation_checkpointed, register_with_continuation_checkpointed_hooked,
-    RegistrationOutcome,
+    register_with_continuation_logged, RegistrationOutcome,
 };
 pub use fieldops::FieldOps;
 pub use multires::{continuation_grids, register_multilevel};

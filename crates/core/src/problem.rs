@@ -163,6 +163,7 @@ impl<'a, C: Comm> GaussNewtonProblem for RegProblem<'a, C> {
     }
 
     fn linearize(&mut self, v: &VectorField) -> (f64, VectorField) {
+        let _span = diffreg_telemetry::span("reg.linearize");
         let ws = self.ws;
         // Forward (state) solve with full history.
         let sl = SemiLagrangian::new(ws, v, self.cfg.nt);
@@ -191,6 +192,7 @@ impl<'a, C: Comm> GaussNewtonProblem for RegProblem<'a, C> {
     }
 
     fn hessian_vec(&mut self, d: &VectorField) -> VectorField {
+        let _span = diffreg_telemetry::span("hessian.matvec");
         self.hessian_matvecs += 1;
         let ws = self.ws;
         let lin = self.lin.as_ref().expect("hessian_vec called before linearize");

@@ -37,6 +37,7 @@ impl ScatterPlan {
         points: &[[f64; 3]],
         timers: &Timers,
     ) -> Self {
+        let _span = diffreg_telemetry::span("interp.plan");
         let grid = decomp.grid;
         let p = comm.size();
         let mut owner_of = Vec::with_capacity(points.len());
@@ -97,6 +98,7 @@ impl ScatterPlan {
         kernel: Kernel,
         timers: &Timers,
     ) -> Vec<Vec<f64>> {
+        let _span = diffreg_telemetry::span("interp.eval");
         let nf = ghosts.len();
         assert!(nf > 0, "need at least one field");
         // Owners evaluate; values interleaved per point: [f0, f1, ..] per point.

@@ -152,6 +152,10 @@ pub struct NewtonCursor {
     pub grad_norm: f64,
     /// Accepted line-search step length.
     pub step_length: f64,
+    /// Eisenstat-Walker forcing term η used for the inner solve.
+    pub eta: f64,
+    /// Hessian matvecs (PCG iterations) spent on the accepted step.
+    pub matvecs: usize,
 }
 
 /// Outcome of a Newton solve.
@@ -227,6 +231,7 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
     let mut status = NewtonStatus::MaxIterations;
 
     for it in start_iter..opts.max_iter {
+        let _iter_span = diffreg_telemetry::span("newton.iter");
         if gnorm <= opts.gatol || gnorm <= opts.gtol * g0norm {
             status = NewtonStatus::Converged;
             break;
@@ -246,6 +251,7 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
         let (d, rep) = {
             // PCG needs the ops for reductions and the problem for matvecs;
             // a RefCell shim shares the mutable borrow (calls never overlap).
+            let _pcg_span = diffreg_telemetry::span("newton.pcg");
             let shim = std::cell::RefCell::new(&mut *problem);
             let space = ShimOps::<P> { inner: &shim };
             pcg(
@@ -281,6 +287,7 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
         // Armijo backtracking. NaN trial objectives fail the sufficient
         // decrease test (comparisons with NaN are false) and simply halve
         // the step, so overshooting into a poisoned region self-corrects.
+        let _ls_span = diffreg_telemetry::span("newton.linesearch");
         let mut t = 1.0;
         let mut accepted = false;
         for _ in 0..opts.max_linesearch {
@@ -301,6 +308,7 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
             }
             t *= 0.5;
         }
+        drop(_ls_span);
         if !accepted {
             status = NewtonStatus::LineSearchFailed;
             break;
@@ -313,9 +321,14 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
                 objective: j,
                 grad_norm: gnorm,
                 step_length: iterations.last().map(|s| s.step_length).unwrap_or(1.0),
+                eta,
+                matvecs: rep.iterations,
             },
         );
-        let (jn, gn) = problem.linearize(&v);
+        let (jn, gn) = {
+            let _lin_span = diffreg_telemetry::span("newton.linearize");
+            problem.linearize(&v)
+        };
         j = jn;
         g = gn;
         gnorm = problem.ops().norm(&g);

@@ -77,6 +77,7 @@ impl<C: Comm> PencilFft<C> {
     /// Forward distributed FFT of a real field (spatial layout) into
     /// spectral coefficients (spectral layout).
     pub fn forward(&self, field: &ScalarField, timers: &Timers) -> SpectralField {
+        let _span = diffreg_telemetry::span("fft.forward");
         let sb = self.spatial_block();
         assert_eq!(field.block(), sb, "field not in this plan's spatial layout");
         let n = self.decomp.grid.n;
@@ -109,6 +110,7 @@ impl<C: Comm> PencilFft<C> {
 
     /// Inverse distributed FFT back to a real field in the spatial layout.
     pub fn inverse(&self, spec: &SpectralField, timers: &Timers) -> ScalarField {
+        let _span = diffreg_telemetry::span("fft.inverse");
         assert_eq!(spec.block, self.spectral_block(), "coefficients not in this plan's layout");
         let n = self.decomp.grid.n;
         let c2 = diffreg_grid::slab(n[2], self.row.size(), self.row.rank()).1;

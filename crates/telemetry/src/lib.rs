@@ -1,0 +1,46 @@
+//! Rank-aware telemetry for the distributed diffeomorphic registration
+//! solver.
+//!
+//! Four pieces, all zero-dependency (the only workspace dep is
+//! `diffreg-comm`, for the collective phase-report reduction):
+//!
+//! * [`span`] — hierarchical RAII span tracing with a Chrome
+//!   `trace_event` JSON exporter (one `pid` per rank, one `tid` per
+//!   thread; load the file in Perfetto / `chrome://tracing`). Near-zero
+//!   cost when disabled: a single relaxed atomic load per [`span()`] call.
+//!   Enable with `DIFFREG_TRACE=1` or [`set_trace_enabled`].
+//! * [`report`] — rank-aggregated phase report: every `Timers` /
+//!   `CommStats` key reduced to min/mean/max/imbalance across ranks
+//!   (allreduce-based, collective) and rendered as the paper's
+//!   Table-I-style exec/comm breakdown with an optional
+//!   measured-vs-predicted column.
+//! * [`convergence`] — the solver telemetry stream: one structured record
+//!   per Newton iteration plus discrete events (checkpoint, resume, level
+//!   transitions, faults), as JSON-lines and the paper's convergence-table
+//!   text format.
+//! * [`results`] — the canonical benchmark-results schema
+//!   (`results/<suite>.json`) shared by every bench binary and the CI
+//!   perf-regression gate, plus the gate comparison itself.
+//!
+//! JSON is hand-rolled in [`json`] (deterministic serialization, strict
+//! parser) — no serde anywhere.
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod json;
+pub mod report;
+pub mod results;
+pub mod span;
+
+pub use convergence::{ConvergenceLog, IterRecord, SolverEvent, StreamEntry};
+pub use json::Json;
+pub use report::{collect_phase_report, PhaseEntry, PhaseReport, PredictedPhases};
+pub use results::{
+    compare_suites, hostname, BenchRecord, BenchSuite, GateFinding, GateReport,
+};
+pub use span::{
+    chrome_trace, set_trace_enabled, span, take_thread_trace, trace_enabled,
+    validate_chrome_trace, with_span, write_chrome_trace, SpanEvent, SpanGuard, ThreadTrace,
+    TraceSummary,
+};

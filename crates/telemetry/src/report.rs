@@ -1,0 +1,363 @@
+//! Rank-aggregated phase report: reduce every [`Timers`] / [`CommStats`]
+//! key to min/mean/max/imbalance across ranks (allreduce-based, collective)
+//! and render the paper's Table-I-style exec/comm breakdown, optionally with
+//! a measured-vs-predicted column from the §III-C4 performance model.
+
+use std::collections::BTreeSet;
+
+use diffreg_comm::{Comm, CommStats, ReduceOp, Timers};
+
+use crate::json::Json;
+
+/// One aggregated key: statistics of a per-rank scalar across all ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEntry {
+    /// Phase / counter name.
+    pub name: String,
+    /// Minimum over ranks.
+    pub min: f64,
+    /// Mean over ranks.
+    pub mean: f64,
+    /// Maximum over ranks.
+    pub max: f64,
+    /// Sum over ranks (`mean * ranks`, kept exactly as reduced).
+    pub sum: f64,
+}
+
+impl PhaseEntry {
+    /// Load imbalance `max / mean` (1.0 = perfectly balanced; 0 when the
+    /// phase never ran anywhere).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The rank-aggregated report (identical on every rank after collection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Communicator size the report was reduced over.
+    pub ranks: usize,
+    /// Aggregated wall-clock phases (sorted by name).
+    pub phases: Vec<PhaseEntry>,
+    /// Aggregated event counters (sorted by name).
+    pub counters: Vec<PhaseEntry>,
+    /// Aggregated communicator traffic statistics (fixed keys).
+    pub comm: Vec<PhaseEntry>,
+}
+
+/// The four per-phase predictions of the paper's performance model, as plain
+/// seconds (convert from `diffreg_perfmodel::Breakdown` at the call site so
+/// this crate stays model-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictedPhases {
+    /// Predicted FFT communication seconds.
+    pub fft_comm: f64,
+    /// Predicted FFT execution seconds.
+    pub fft_exec: f64,
+    /// Predicted interpolation communication seconds.
+    pub interp_comm: f64,
+    /// Predicted interpolation execution seconds.
+    pub interp_exec: f64,
+}
+
+impl PredictedPhases {
+    fn get(&self, key: &str) -> Option<f64> {
+        match key {
+            "fft_comm" => Some(self.fft_comm),
+            "fft_exec" => Some(self.fft_exec),
+            "interp_comm" => Some(self.interp_comm),
+            "interp_exec" => Some(self.interp_exec),
+            _ => None,
+        }
+    }
+}
+
+/// Collectively reduces this rank's `timers` and `stats` into a
+/// [`PhaseReport`] replicated on every rank.
+///
+/// Keys may differ across ranks (a rank that never entered a phase simply
+/// contributes 0): the key set is allgathered and unioned first, then three
+/// allreduces (sum/min/max) over the aligned value vector produce the
+/// statistics. Collective over `comm` — every rank must call it.
+pub fn collect_phase_report<C: Comm>(comm: &C, timers: &Timers, stats: &CommStats) -> PhaseReport {
+    let ranks = comm.size();
+    let phase_snap = timers.snapshot();
+    let counter_snap = timers.counters();
+
+    // Union of key names across ranks, deterministic order.
+    let mine: Vec<String> = phase_snap
+        .keys()
+        .map(|k| format!("t/{k}"))
+        .chain(counter_snap.keys().map(|k| format!("c/{k}")))
+        .collect();
+    let all = comm.allgather(mine);
+    let union: BTreeSet<String> = all.into_iter().flatten().collect();
+    let keys: Vec<String> = union.into_iter().collect();
+
+    // Aligned per-rank values: timers/counters by unioned key, then the
+    // fixed CommStats block.
+    let comm_keys = [
+        "messages_sent",
+        "bytes_sent",
+        "messages_received",
+        "bytes_received",
+        "blocked_seconds",
+    ];
+    let comm_vals = [
+        stats.messages_sent as f64,
+        stats.bytes_sent as f64,
+        stats.messages_received as f64,
+        stats.bytes_received as f64,
+        stats.blocked_seconds,
+    ];
+    let mut vals: Vec<f64> = keys
+        .iter()
+        .map(|k| match k.split_once('/') {
+            Some(("t", name)) => phase_snap.get(name).copied().unwrap_or(0.0),
+            Some(("c", name)) => counter_snap.get(name).copied().unwrap_or(0) as f64,
+            _ => 0.0,
+        })
+        .collect();
+    vals.extend_from_slice(&comm_vals);
+
+    let mut sum = vals.clone();
+    let mut min = vals.clone();
+    let mut max = vals;
+    comm.allreduce(&mut sum, ReduceOp::Sum);
+    comm.allreduce(&mut min, ReduceOp::Min);
+    comm.allreduce(&mut max, ReduceOp::Max);
+
+    let entry = |name: String, i: usize| PhaseEntry {
+        name,
+        min: min[i],
+        mean: sum[i] / ranks as f64,
+        max: max[i],
+        sum: sum[i],
+    };
+    let mut phases = Vec::new();
+    let mut counters = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        match k.split_once('/') {
+            Some(("t", name)) => phases.push(entry(name.to_string(), i)),
+            Some(("c", name)) => counters.push(entry(name.to_string(), i)),
+            _ => {}
+        }
+    }
+    let comm_stats = comm_keys
+        .iter()
+        .enumerate()
+        .map(|(j, name)| entry(name.to_string(), keys.len() + j))
+        .collect();
+    PhaseReport { ranks, phases, counters, comm: comm_stats }
+}
+
+impl PhaseReport {
+    /// Looks up an aggregated phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseEntry> {
+        self.phases.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up an aggregated counter by name.
+    pub fn counter(&self, name: &str) -> Option<&PhaseEntry> {
+        self.counters.iter().find(|e| e.name == name)
+    }
+
+    /// Renders the paper's Table-I-style per-phase breakdown: the canonical
+    /// exec/comm phases first (with the model-predicted column when given),
+    /// then any remaining phases, counters, and communicator traffic.
+    pub fn render(&self, predicted: Option<&PredictedPhases>) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "phase breakdown over {} rank(s):", self.ranks);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12} {:>12} {:>12} {:>8} {:>12}",
+            "phase", "min (s)", "mean (s)", "max (s)", "imbal", "predicted"
+        );
+        let _ = writeln!(out, "  {}", "-".repeat(84));
+        let canonical = ["fft_comm", "fft_exec", "interp_comm", "interp_exec"];
+        let fmt_row = |out: &mut String, e: &PhaseEntry, pred: Option<f64>| {
+            let pred = match pred {
+                Some(p) => format!("{p:.3e}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.2} {:>12}",
+                e.name,
+                e.min,
+                e.mean,
+                e.max,
+                e.imbalance(),
+                pred
+            );
+        };
+        for key in canonical {
+            if let Some(e) = self.phase(key) {
+                fmt_row(&mut out, e, predicted.and_then(|p| p.get(key)));
+            }
+        }
+        for e in &self.phases {
+            if !canonical.contains(&e.name.as_str()) {
+                fmt_row(&mut out, e, None);
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters (sum over ranks):");
+            for e in &self.counters {
+                let _ = writeln!(out, "    {:<22} {:>14.0}", e.name, e.sum);
+            }
+        }
+        let _ = writeln!(out, "  comm traffic:");
+        for e in &self.comm {
+            let _ = writeln!(
+                out,
+                "    {:<22} sum {:>14.3} max {:>12.3} imbal {:>6.2}",
+                e.name,
+                e.sum,
+                e.max,
+                e.imbalance()
+            );
+        }
+        out
+    }
+
+    /// The report as a JSON document (one object per entry).
+    pub fn to_json(&self) -> Json {
+        let arr = |entries: &[PhaseEntry]| {
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj()
+                            .set("name", e.name.as_str())
+                            .set("min", e.min)
+                            .set("mean", e.mean)
+                            .set("max", e.max)
+                            .set("sum", e.sum)
+                            .set("imbalance", e.imbalance())
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj()
+            .set("ranks", self.ranks)
+            .set("phases", arr(&self.phases))
+            .set("counters", arr(&self.counters))
+            .set("comm", arr(&self.comm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffreg_comm::{run_threaded, SerialComm};
+
+    #[test]
+    fn serial_report_has_exact_stats() {
+        let comm = SerialComm::new();
+        let timers = Timers::new();
+        timers.add("fft_exec", 2.0);
+        timers.count("fft_3d", 4);
+        let stats = CommStats::default();
+        let rep = collect_phase_report(&comm, &timers, &stats);
+        assert_eq!(rep.ranks, 1);
+        let e = rep.phase("fft_exec").unwrap();
+        assert_eq!((e.min, e.mean, e.max, e.sum), (2.0, 2.0, 2.0, 2.0));
+        assert_eq!(e.imbalance(), 1.0);
+        assert_eq!(rep.counter("fft_3d").unwrap().sum, 4.0);
+    }
+
+    #[test]
+    fn ranks_with_disjoint_keys_union_cleanly() {
+        let reports = run_threaded(4, |c| {
+            let timers = Timers::new();
+            timers.add("everywhere", 1.0);
+            if c.rank() == 2 {
+                timers.add("only_rank2", 3.0);
+            }
+            let stats = CommStats::default();
+            collect_phase_report(c, &timers, &stats)
+        });
+        // Replicated on all ranks.
+        for r in &reports {
+            assert_eq!(r, &reports[0]);
+            let e = r.phase("everywhere").unwrap();
+            assert_eq!((e.min, e.max, e.sum), (1.0, 1.0, 4.0));
+            assert_eq!(e.mean, 1.0);
+            let o = r.phase("only_rank2").unwrap();
+            assert_eq!((o.min, o.max, o.sum), (0.0, 3.0, 3.0));
+            assert!((o.imbalance() - 4.0).abs() < 1e-12, "max/mean = 3 / 0.75");
+        }
+    }
+
+    #[test]
+    fn comm_traffic_is_aggregated() {
+        let reports = run_threaded(2, |c| {
+            c.send(1 - c.rank(), 5, vec![0u8; 100]);
+            let _: Vec<u8> = c.recv(1 - c.rank(), 5);
+            let timers = Timers::new();
+            let stats = c.stats();
+            collect_phase_report(c, &timers, &stats)
+        });
+        let r = &reports[0];
+        let sent = r.comm.iter().find(|e| e.name == "bytes_sent").unwrap();
+        let recvd = r.comm.iter().find(|e| e.name == "bytes_received").unwrap();
+        // The collector's own allgather/allreduce traffic happens *after*
+        // the stats snapshot, so exactly the two user messages are counted.
+        assert_eq!(sent.sum, 200.0);
+        assert_eq!(recvd.sum, 200.0);
+    }
+
+    /// Property: for random per-rank timer values, the aggregated `mean`
+    /// times `ranks` equals the exact sum of the per-rank contributions, and
+    /// min/max bracket every contribution — to 1e-12 (the reduction is a
+    /// plain allreduce, no reassociation tricks).
+    #[test]
+    fn prop_mean_times_ranks_equals_sum() {
+        diffreg_testkit::prop_check!(cases = 24, |rng| {
+            let p = 1 + (rng.next_u64() % 4) as usize;
+            let vals: Vec<f64> = (0..p).map(|_| rng.uniform(0.0, 10.0)).collect();
+            let expect_sum: f64 = vals.iter().sum();
+            let expect_min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let expect_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let vals2 = vals.clone();
+            let reports = run_threaded(p, move |c| {
+                let timers = Timers::new();
+                timers.add("phase", vals2[c.rank()]);
+                collect_phase_report(c, &timers, &CommStats::default())
+            });
+            for r in &reports {
+                let e = r.phase("phase").unwrap();
+                assert!(
+                    (e.mean * r.ranks as f64 - expect_sum).abs() <= 1e-12 * expect_sum.max(1.0),
+                    "mean*ranks {} vs sum {}",
+                    e.mean * r.ranks as f64,
+                    expect_sum
+                );
+                assert!((e.sum - expect_sum).abs() <= 1e-12 * expect_sum.max(1.0));
+                assert_eq!(e.min, expect_min);
+                assert_eq!(e.max, expect_max);
+            }
+        });
+    }
+
+    #[test]
+    fn render_includes_predicted_column() {
+        let comm = SerialComm::new();
+        let timers = Timers::new();
+        timers.add("fft_exec", 1.5);
+        timers.add("interp_exec", 2.5);
+        let rep = collect_phase_report(&comm, &timers, &CommStats::default());
+        let pred = PredictedPhases { fft_exec: 1.4, interp_exec: 2.6, ..Default::default() };
+        let text = rep.render(Some(&pred));
+        assert!(text.contains("fft_exec"), "{text}");
+        assert!(text.contains("1.400e0") || text.contains("1.4e0"), "{text}");
+        let json = rep.to_json().to_string();
+        assert!(crate::json::Json::parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,437 @@
+//! Hierarchical span tracing: RAII guards, per-rank + per-thread buffers,
+//! monotonic clocks, and a Chrome `trace_event` exporter.
+//!
+//! Design constraints (ISSUE 3 tentpole):
+//! * **Zero cost when off.** [`span`] first reads one process-global relaxed
+//!   `AtomicBool`; when tracing is disabled (the default unless
+//!   `DIFFREG_TRACE=1`) the guard is inert and no thread-local is touched.
+//! * **Bounded memory.** Each thread records into its own buffer capped at
+//!   `DIFFREG_TRACE_CAP` events (default 65 536); overflow increments a
+//!   dropped-events counter instead of growing.
+//! * **Rank-aware.** In the simulated MPI runtime every rank is one thread:
+//!   the rank's SPMD closure calls [`take_thread_trace`] before returning
+//!   and the harness maps trace → `pid = rank` at export time, producing a
+//!   Chrome/Perfetto trace with one process per rank and one thread track
+//!   per OS thread.
+//! * **Monotonic shared clock.** Timestamps are nanoseconds since a
+//!   process-wide `Instant` epoch, so spans from different ranks align on
+//!   one timeline.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One closed span: `[t0_ns, t0_ns + dur_ns)` at nesting `depth` on the
+/// recording thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"fft.forward"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub t0_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at which the span was opened (0 = top level).
+    pub depth: u32,
+}
+
+/// Everything one thread recorded: its events (in close order), its stable
+/// thread index, and how many events overflowed the bounded buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Small stable per-process thread index (not the OS tid).
+    pub thread: u64,
+    /// Closed spans in the order they *closed* (children before parents).
+    pub events: Vec<SpanEvent>,
+    /// Events discarded because the ring buffer was full.
+    pub dropped: u64,
+}
+
+/// Process-global enable flag: a single relaxed load gates every `span()`
+/// call, so disabled tracing costs one atomic read and nothing else.
+/// Initialized once from `DIFFREG_TRACE` (see [`init_from_env`]); flippable
+/// at runtime with [`set_trace_enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENABLED_INIT: OnceLock<()> = OnceLock::new();
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn trace_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("DIFFREG_TRACE_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(1 << 16)
+    })
+}
+
+fn init_from_env() {
+    ENABLED_INIT.get_or_init(|| {
+        let on = std::env::var("DIFFREG_TRACE").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        });
+        ENABLED.store(on, Ordering::Relaxed);
+        // Pin the epoch while we are single-threaded-ish so early spans
+        // never see a later epoch than the exporter.
+        let _ = trace_epoch();
+    });
+}
+
+/// Whether span tracing is currently enabled (`DIFFREG_TRACE=1` or a prior
+/// [`set_trace_enabled`] call).
+#[inline]
+pub fn trace_enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Programmatically enables/disables tracing for the whole process,
+/// overriding `DIFFREG_TRACE`. Spans already open keep recording.
+pub fn set_trace_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+struct Buffer {
+    thread: u64,
+    depth: u32,
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+thread_local! {
+    static BUFFER: RefCell<Buffer> = RefCell::new(Buffer {
+        thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        depth: 0,
+        events: Vec::new(),
+        dropped: 0,
+    });
+}
+
+/// Opens a span; the span closes (and is recorded) when the returned guard
+/// drops. Spans nest: guards created inside an open span record a larger
+/// `depth`. When tracing is disabled this is a single relaxed atomic load.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !trace_enabled() {
+        return SpanGuard { name, t0: None, depth: 0 };
+    }
+    let depth = BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        let d = b.depth;
+        b.depth += 1;
+        d
+    });
+    SpanGuard { name, t0: Some(Instant::now()), depth }
+}
+
+/// RAII guard of one open span (see [`span`]).
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    t0: Option<Instant>,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(t0) = self.t0 else { return };
+        let now = Instant::now();
+        let epoch = trace_epoch();
+        let t0_ns = t0.saturating_duration_since(epoch).as_nanos() as u64;
+        let dur_ns = now.saturating_duration_since(t0).as_nanos() as u64;
+        BUFFER.with(|b| {
+            let mut b = b.borrow_mut();
+            b.depth = b.depth.saturating_sub(1);
+            if b.events.len() < trace_cap() {
+                b.events.push(SpanEvent { name: self.name, t0_ns, dur_ns, depth: self.depth });
+            } else {
+                b.dropped += 1;
+            }
+        });
+    }
+}
+
+/// Runs `f` inside a span named `name`.
+#[inline]
+pub fn with_span<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}
+
+/// Drains and returns everything the *current thread* has recorded. In the
+/// rank-per-thread runtime each rank calls this at the end of its SPMD
+/// closure and returns the trace to the harness, which pairs it with the
+/// rank id for [`chrome_trace`].
+pub fn take_thread_trace() -> ThreadTrace {
+    BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        ThreadTrace {
+            thread: b.thread,
+            events: std::mem::take(&mut b.events),
+            dropped: std::mem::take(&mut b.dropped),
+        }
+    })
+}
+
+/// Assembles per-rank thread traces into a Chrome `trace_event` JSON
+/// document (the "JSON Array Format" object flavor with `traceEvents`),
+/// loadable in `chrome://tracing` and Perfetto: one `pid` per rank, one
+/// `tid` per recording thread, complete (`"ph":"X"`) events with
+/// microsecond timestamps.
+pub fn chrome_trace(traces: &[(usize, ThreadTrace)]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (rank, trace) in traces {
+        // Process metadata so the Perfetto sidebar names tracks by rank.
+        events.push(
+            Json::obj()
+                .set("name", "process_name")
+                .set("ph", "M")
+                .set("pid", *rank)
+                .set("tid", trace.thread)
+                .set("args", Json::obj().set("name", format!("rank {rank}"))),
+        );
+        for e in &trace.events {
+            events.push(
+                Json::obj()
+                    .set("name", e.name)
+                    .set("cat", "diffreg")
+                    .set("ph", "X")
+                    .set("pid", *rank)
+                    .set("tid", trace.thread)
+                    .set("ts", e.t0_ns as f64 / 1e3)
+                    .set("dur", e.dur_ns as f64 / 1e3)
+                    .set("args", Json::obj().set("depth", e.depth)),
+            );
+        }
+    }
+    let dropped: u64 = traces.iter().map(|(_, t)| t.dropped).sum();
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms")
+        .set("otherData", Json::obj().set("dropped_events", dropped))
+}
+
+/// [`chrome_trace`] serialized and written to `path` (parent directories
+/// created).
+pub fn write_chrome_trace(
+    path: impl AsRef<std::path::Path>,
+    traces: &[(usize, ThreadTrace)],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, chrome_trace(traces).to_string())
+}
+
+/// Summary of a validated Chrome trace (see [`validate_chrome_trace`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Distinct `pid`s (ranks) seen.
+    pub pids: Vec<usize>,
+    /// Total complete (`"X"`) events.
+    pub events: usize,
+    /// Distinct span names seen.
+    pub names: Vec<String>,
+}
+
+/// Parses a Chrome trace JSON document and checks its structural invariants:
+/// every `X` event carries numeric `pid`/`tid`/`ts`/`dur`, and within each
+/// `(pid, tid)` track the spans *nest* — any two either do not overlap or
+/// one contains the other (no partial overlap). Returns a summary or a
+/// description of the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    /// Spans on one `(pid, tid)` track: `(start_us, end_us, name)`.
+    type Track = Vec<(f64, f64, String)>;
+    let mut tracks: std::collections::BTreeMap<(u64, u64), Track> =
+        std::collections::BTreeMap::new();
+    let mut summary = TraceSummary::default();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            e.get(key).and_then(Json::as_f64).ok_or(format!("event {i}: missing numeric {key}"))
+        };
+        let pid = num("pid")? as u64;
+        let tid = num("tid")? as u64;
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        if dur < 0.0 {
+            return Err(format!("event {i}: negative dur"));
+        }
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?
+            .to_string();
+        if !summary.pids.contains(&(pid as usize)) {
+            summary.pids.push(pid as usize);
+        }
+        if !summary.names.contains(&name) {
+            summary.names.push(name.clone());
+        }
+        summary.events += 1;
+        tracks.entry((pid, tid)).or_default().push((ts, ts + dur, name));
+    }
+    summary.pids.sort_unstable();
+    summary.names.sort();
+    // Nesting check per track: sort by (start asc, end desc) and sweep with
+    // a stack of open intervals.
+    for ((pid, tid), mut spans) in tracks {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        let mut stack: Vec<(f64, f64, String)> = Vec::new();
+        for (start, end, name) in spans {
+            while let Some(top) = stack.last() {
+                if start >= top.1 {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if end > top.1 + 1e-9 {
+                    return Err(format!(
+                        "track pid={pid} tid={tid}: span '{name}' [{start}, {end}] partially \
+                         overlaps '{}' [{}, {}]",
+                        top.2, top.0, top.1
+                    ));
+                }
+            }
+            stack.push((start, end, name));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share one process-global tracer; serialize them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _l = LOCK.lock().unwrap();
+        set_trace_enabled(false);
+        let _ = take_thread_trace();
+        {
+            let _g = span("invisible");
+        }
+        let t = take_thread_trace();
+        assert!(t.events.is_empty());
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn spans_nest_and_export_parses() {
+        let _l = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        let _ = take_thread_trace();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let _sibling = span("sibling");
+        }
+        set_trace_enabled(false);
+        let t = take_thread_trace();
+        assert_eq!(t.events.len(), 3);
+        // Close order: inner, sibling, outer.
+        assert_eq!(t.events[0].name, "inner");
+        assert_eq!(t.events[0].depth, 1);
+        assert_eq!(t.events[2].name, "outer");
+        assert_eq!(t.events[2].depth, 0);
+        let outer = t.events[2];
+        let inner = t.events[0];
+        assert!(inner.t0_ns >= outer.t0_ns);
+        assert!(inner.t0_ns + inner.dur_ns <= outer.t0_ns + outer.dur_ns);
+
+        let text = chrome_trace(&[(0, t)]).to_string();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.pids, vec![0]);
+        assert_eq!(summary.events, 3);
+        assert!(summary.names.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn per_thread_buffers_are_independent() {
+        let _l = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        let _ = take_thread_trace();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = span("worker");
+                    drop(span("child"));
+                    drop(_g);
+                    take_thread_trace()
+                })
+            })
+            .collect();
+        let traces: Vec<ThreadTrace> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        set_trace_enabled(false);
+        let _ = take_thread_trace();
+        let mut tids: Vec<u64> = traces.iter().map(|t| t.thread).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread gets its own track");
+        for t in &traces {
+            assert_eq!(t.events.len(), 2);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_partial_overlap() {
+        let bad = Json::obj()
+            .set(
+                "traceEvents",
+                Json::Arr(vec![
+                    Json::obj()
+                        .set("name", "a")
+                        .set("ph", "X")
+                        .set("pid", 0usize)
+                        .set("tid", 0usize)
+                        .set("ts", 0.0)
+                        .set("dur", 10.0),
+                    Json::obj()
+                        .set("name", "b")
+                        .set("ph", "X")
+                        .set("pid", 0usize)
+                        .set("tid", 0usize)
+                        .set("ts", 5.0)
+                        .set("dur", 10.0),
+                ]),
+            )
+            .to_string();
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("partially"), "{err}");
+    }
+
+    #[test]
+    fn with_span_passes_value_through() {
+        let _l = LOCK.lock().unwrap();
+        set_trace_enabled(false);
+        assert_eq!(with_span("x", || 7), 7);
+    }
+}

@@ -30,6 +30,7 @@ impl SemiLagrangian {
     /// Builds departure points for `v` (both directions), the divergence
     /// field, and its interpolant at the backward points. Collective.
     pub fn new<C: Comm>(ws: &Workspace<C>, v: &VectorField, nt: usize) -> Self {
+        let _span = diffreg_telemetry::span("transport.setup");
         assert!(nt > 0, "need at least one time step");
         let dt = 1.0 / nt as f64;
         let fwd = compute_trajectory(ws, v, dt, 1.0);
@@ -79,6 +80,7 @@ impl SemiLagrangian {
     /// each step is one interpolation at the forward departure points.
     /// Returns the full history `ρ(t_i)`, `i = 0..=nt`.
     pub fn solve_state<C: Comm>(&self, ws: &Workspace<C>, rho0: &ScalarField) -> Vec<ScalarField> {
+        let _span = diffreg_telemetry::span("transport.state");
         let mut hist = Vec::with_capacity(self.nt + 1);
         hist.push(rho0.clone());
         for _ in 0..self.nt {
@@ -113,6 +115,7 @@ impl SemiLagrangian {
     /// `λ(1) = lambda1`, solved backward in time (τ = 1 − t). Returns the
     /// history indexed by *t*: `out[i] = λ(t_i)`, so `out[nt] = lambda1`.
     pub fn solve_adjoint<C: Comm>(&self, ws: &Workspace<C>, lambda1: &ScalarField) -> Vec<ScalarField> {
+        let _span = diffreg_telemetry::span("transport.adjoint");
         let mut rev = Vec::with_capacity(self.nt + 1);
         rev.push(lambda1.clone());
         for _ in 0..self.nt {

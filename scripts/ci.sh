@@ -7,47 +7,66 @@
 #   2. full workspace test suite, fully offline
 #   3. debug-assertions test pass (collective-contract checker active)
 #   4. chaos / resilience suites at fixed seeds (fault-injection drills)
-#   5. clippy clean under -D warnings (skipped if clippy is not installed)
-#   6. smoke-test the individual crates a distributed solve flows through
-#   7. fail if Cargo.lock ever acquires a registry (non-path) dependency
+#   5. telemetry smoke: traced 4-rank 32^3 registration must yield a valid
+#      Chrome trace, phase report, and convergence log
+#   6. perf-regression gate over the kernel suite (scripts/perf_gate.sh)
+#   7. clippy clean under -D warnings (skipped if clippy is not installed)
+#   8. smoke-test the individual crates a distributed solve flows through
+#   9. fail if Cargo.lock ever acquires a registry (non-path) dependency
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] cargo build --release --offline"
+echo "==> [1/9] cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> [2/7] cargo test --offline (workspace, release)"
+echo "==> [2/9] cargo test --offline (workspace, release)"
 cargo test --workspace --release -q --offline
 
-echo "==> [3/7] cargo test --offline (workspace, debug: contract checker on)"
+echo "==> [3/9] cargo test --offline (workspace, debug: contract checker on)"
 # Debug builds default the collective-ordering contract checker to ON
 # (debug_assertions); force it explicitly so the gate survives profile
 # tweaks. This continuously proves the whole solver stack is contract-clean.
 DIFFREG_COMM_CONTRACT=1 cargo test --workspace -q --offline
 
-echo "==> [4/7] chaos & resilience suites (fixed seeds)"
+echo "==> [4/9] chaos & resilience suites (fixed seeds)"
 # Fault-injection drills: seeded latency/reorder/stall/kill schedules, the
 # watchdog, rank-failure containment, and checkpoint/restart. The seeds are
 # fixed inside the tests, so this step is fully deterministic.
 cargo test -p diffreg-comm --release -q --offline --test chaos
 cargo test -p diffreg-core --release -q --offline --test resilience
 
-echo "==> [5/7] cargo clippy -- -D warnings"
+echo "==> [5/9] telemetry smoke (traced 4-rank 32^3 registration)"
+# Runs the end-to-end observability acceptance test at the release smoke
+# size: span tracing on, Chrome trace validated (one pid per rank, nested
+# fft/interp/transport/newton spans), rank-aggregated phase report with the
+# perfmodel-predicted column, and a JSONL convergence log with one record
+# per Newton iteration.
+DIFFREG_TELEMETRY_SMOKE_SIZE=32 \
+    cargo test -p diffreg-core --release -q --offline --test telemetry
+
+echo "==> [6/9] perf-regression gate (kernel suite medians vs baseline)"
+# Full protocol: deterministic selftest, end-to-end proof that a 30%
+# synthetic slowdown trips the 25% gate, then a median-of-K comparison
+# against the checked-in BENCH_kernels.json (advisory across hosts).
+scripts/perf_gate.sh
+
+echo "==> [7/9] cargo clippy -- -D warnings"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "    clippy not installed; skipping lint gate"
 fi
 
-echo "==> [6/7] per-crate smoke tests"
+echo "==> [8/9] per-crate smoke tests"
 for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
              diffreg-spectral diffreg-pfft diffreg-interp \
-             diffreg-transport diffreg-optim diffreg-core; do
+             diffreg-transport diffreg-optim diffreg-core \
+             diffreg-telemetry diffreg-bench; do
     cargo test -p "$crate" --release -q --offline >/dev/null
     echo "    $crate ok"
 done
 
-echo "==> [7/7] dependency audit (no external crates allowed)"
+echo "==> [9/9] dependency audit (no external crates allowed)"
 # Every package in Cargo.lock must be one of ours (path deps carry no
 # `source =` line; registry/git deps do).
 if grep -q '^source = ' Cargo.lock; then
