@@ -1,0 +1,6 @@
+//@ path: crates/grid/src/fixture_da.rs
+fn f(v: &mut Vec<u32>, mut n: u32) {
+    debug_assert!(v.pop().is_some());
+    debug_assert_eq!({ n += 1; n }, 1);
+    debug_assert!(!v.is_empty());
+}

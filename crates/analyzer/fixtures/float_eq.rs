@@ -1,0 +1,12 @@
+//@ path: crates/spectral/src/fixture_float.rs
+fn f(x: f64, y: f64, n: usize) -> bool {
+    let a = x == 0.0;
+    let b = y != 1.0e-9;
+    let c = n == 3;
+    let d = (x as f32) == y as f32;
+    a && b && c && d
+}
+#[test]
+fn test_code_is_exempt(x: f64) {
+    assert!(x == 0.0);
+}

@@ -1,0 +1,3 @@
+//@ path: crates/demo/src/lib.rs
+//! A crate root without `#![forbid(unsafe_code)]`.
+fn private() {}

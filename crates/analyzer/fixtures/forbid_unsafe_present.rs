@@ -1,0 +1,4 @@
+//@ path: crates/demo2/src/lib.rs
+//! A crate root that carries the attribute: clean.
+#![forbid(unsafe_code)]
+fn private() {}

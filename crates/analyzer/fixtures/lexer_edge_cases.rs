@@ -1,0 +1,13 @@
+//@ path: crates/comm/src/fixture_lexer_edges.rs
+/* outer /* nested x.unwrap() */ still inside the comment y.unwrap() */
+fn f() -> usize {
+    let s = r#"raw string with "quotes", // no comment, and z.unwrap()"#;
+    let b = br##"raw byte string: "## inside" and panic!("nope")"##;
+    let c = '"';
+    let q = '\'';
+    let l: &'static str = "string with an apostrophe: don't";
+    s.len() + b.len() + (c as usize) + (q as usize) + l.len()
+}
+fn g<'a>(o: &'a Option<u32>) -> u32 {
+    o.unwrap()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/telemetry/src/fixture_docs.rs
+pub fn undocumented() {}
+/// Documented: passes.
+pub fn documented() {}
+pub(crate) fn internal_is_exempt() {}
+#[doc = "attr-documented: passes"]
+pub fn attr_documented() {}
+mod inner {
+    pub fn also_undocumented() {}
+}

@@ -1,0 +1,15 @@
+//@ path: crates/comm/src/fixture_rank_gate.rs
+fn f(c: &impl Comm, v: &mut Vec<f64>) {
+    if c.rank() == 0 {
+        c.barrier();
+    } else {
+        c.allreduce(&mut [0.5], ReduceOp::Sum);
+    }
+    match c.rank() {
+        0 => {}
+        _ => {
+            c.broadcast(0, v);
+        }
+    }
+    c.barrier();
+}

@@ -1,0 +1,8 @@
+//@ path: crates/interp/src/fixture_unsafe.rs
+fn f(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+// SAFETY: pointer validity is the caller's contract, checked at the call site
+fn g(p: *const u32) -> u32 {
+    unsafe { *p }
+}

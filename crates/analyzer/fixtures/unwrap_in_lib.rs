@@ -1,0 +1,17 @@
+//@ path: crates/pfft/src/fixture_unwrap.rs
+fn f(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+fn g(r: Result<u32, ()>) -> u32 {
+    r.expect("boom")
+}
+fn h() {
+    panic!("kaboom");
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1).unwrap();
+    }
+}

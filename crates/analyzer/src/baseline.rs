@@ -1,0 +1,162 @@
+//! The checked-in baseline of grandfathered findings.
+//!
+//! A finding in the baseline is reported but does not fail the gate, so the
+//! analyzer could be landed with hard-gate semantics *before* every legacy
+//! site was burned down. Entries are content-addressed — keyed on
+//! `(lint, path, trimmed source line)` rather than line numbers — so
+//! unrelated edits above a grandfathered site do not invalidate it, while
+//! *any* edit to the offending line itself forces the finding to be fixed
+//! or explicitly allowed.
+//!
+//! Workflow:
+//! * `diffreg-analyzer check` — new findings fail; baselined ones count.
+//! * `diffreg-analyzer fix-baseline` — rewrites the file from the current
+//!   findings (use after burning entries down, never to hide new ones).
+
+use crate::lint::Diagnostic;
+use std::collections::HashMap;
+
+/// The baseline file name, at the repository root.
+pub const BASELINE_FILE: &str = "ANALYZER_BASELINE.txt";
+
+/// A multiset of grandfathered findings keyed on content.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// `(lint name, path, trimmed line)` -> count.
+    entries: HashMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format: tab-separated
+    /// `lint<TAB>path<TAB>trimmed line`, `#` comments and blanks ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries: HashMap<(String, String, String), usize> = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(lint), Some(path), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *entries
+                .entry((lint.to_string(), path.to_string(), snippet.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Number of entries (multiset cardinality).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// True when the baseline holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes one matching entry for `d` if present; returns true when the
+    /// finding is grandfathered.
+    pub fn matches(&mut self, d: &Diagnostic) -> bool {
+        let key = (d.lint.to_string(), d.path.clone(), d.snippet.clone());
+        match self.entries.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.entries.remove(&key);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Entries that matched no current finding — fixed or drifted lines that
+    /// should be pruned with `fix-baseline`.
+    pub fn stale(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .entries
+            .iter()
+            .map(|((l, p, s), n)| {
+                if *n > 1 {
+                    format!("{l}\t{p}\t{s}  (x{n})")
+                } else {
+                    format!("{l}\t{p}\t{s}")
+                }
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Serializes `diags` as a fresh baseline file body.
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut lines: Vec<String> = diags
+            .iter()
+            .map(|d| format!("{}\t{}\t{}", d.lint, d.path, d.snippet))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# diffreg-analyzer baseline: grandfathered findings, one per line as\n\
+             # <lint>\\t<path>\\t<trimmed source line>.\n\
+             # Regenerate with: cargo run -p diffreg-analyzer -- fix-baseline\n\
+             # Policy: burn entries down over time; never add new ones to dodge the gate.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Lint;
+
+    fn d(lint: Lint, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            lint,
+            path: path.into(),
+            line: 10,
+            col: 2,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_multiset_matching() {
+        let d1 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "foo.unwrap();");
+        let d2 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "foo.unwrap();");
+        let d3 = d(Lint::FloatEq, "crates/y/src/b.rs", "a == 0.0");
+        let text = Baseline::render(&[d1.clone(), d2.clone(), d3.clone()]);
+        let mut b = Baseline::parse(&text);
+        assert_eq!(b.len(), 3);
+        assert!(b.matches(&d1));
+        assert!(b.matches(&d2));
+        // Third identical finding is NOT covered (multiset semantics).
+        assert!(!b.matches(&d1));
+        assert!(b.matches(&d3));
+        assert!(b.stale().is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let text = "no-unwrap-in-lib\tcrates/x/src/a.rs\tgone.unwrap();\n";
+        let b = Baseline::parse(text);
+        assert_eq!(b.stale().len(), 1);
+        assert!(b.stale()[0].contains("gone.unwrap()"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n# more\n");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! The analysis driver: workspace walk, suppression handling, baseline
+//! application, and report rendering (human and JSON).
+
+use crate::baseline::Baseline;
+use crate::lint::{parse_allow, Diagnostic, Lint};
+use crate::lints;
+use crate::scope::SourceFile;
+use diffreg_telemetry::json::Json;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "figures", "fixtures"];
+
+/// Recursively collects the workspace's `.rs` files, repo-relative, sorted.
+/// `fixtures/` directories are excluded — they hold deliberate violations
+/// for the analyzer's own tests.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of analyzing one file: surviving findings plus the set of
+/// allow comments that were actually used.
+pub struct FileReport {
+    /// Findings that were not suppressed by a `diffreg-allow` comment.
+    pub findings: Vec<Diagnostic>,
+    /// Findings suppressed at their site (kept for accounting).
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Runs every lint on `file`, applies `diffreg-allow` suppressions, and
+/// reports stale/malformed allows as [`Lint::UnusedAllow`] findings.
+pub fn analyze_file(file: &SourceFile) -> FileReport {
+    let raw = lints::run_all(file);
+
+    // Collect allow comments, per line. Doc comments (`///`, `//!`, `/**`,
+    // `/*!`) are documentation, not suppressions — prose that *mentions*
+    // the allow syntax must not accidentally suppress anything.
+    let mut allows: Vec<(crate::lint::Allow, bool)> = Vec::new(); // (allow, used)
+    for t in &file.tokens {
+        if t.is_code() {
+            continue;
+        }
+        let is_doc = ["///", "//!", "/**", "/*!"].iter().any(|p| t.text.starts_with(p));
+        if is_doc {
+            continue;
+        }
+        if let Some(a) = parse_allow(&t.text, t.line, t.col) {
+            allows.push((a, false));
+        }
+    }
+
+    // Which source lines consist only of comments/whitespace? Allow comments
+    // stack: each one applies to the first code line below the comment block.
+    let comment_only: Vec<bool> = file
+        .lines
+        .iter()
+        .enumerate()
+        .map(|(idx, l)| {
+            let trimmed = l.trim();
+            trimmed.is_empty()
+                || trimmed.starts_with("//")
+                || file
+                    .tokens
+                    .iter()
+                    .filter(|t| t.line == idx + 1)
+                    .all(|t| !t.is_code())
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in raw {
+        let mut hit = false;
+        for (a, used) in allows.iter_mut() {
+            if a.lint != Some(d.lint) || a.reason.is_empty() {
+                continue;
+            }
+            let applies = if a.line == d.line {
+                true // trailing comment on the offending line
+            } else if a.line < d.line {
+                // Stacked block of comment-only lines directly above.
+                (a.line..d.line.saturating_sub(1))
+                    .all(|l| comment_only.get(l).copied().unwrap_or(false))
+                    && a.line < d.line
+            } else {
+                false
+            };
+            if applies {
+                hit = true;
+                *used = true;
+                break;
+            }
+        }
+        if hit {
+            suppressed.push(d);
+        } else {
+            findings.push(d);
+        }
+    }
+
+    // Stale / malformed allows are findings themselves.
+    for (a, used) in &allows {
+        if *used {
+            continue;
+        }
+        let msg = if a.lint.is_none() {
+            format!("diffreg-allow names unknown lint `{}`", a.name)
+        } else if a.reason.is_empty() {
+            format!("diffreg-allow({}) has no reason — write `: <why>` after it", a.name)
+        } else {
+            format!("diffreg-allow({}) suppresses nothing here (stale — remove it)", a.name)
+        };
+        findings.push(Diagnostic {
+            lint: Lint::UnusedAllow,
+            path: file.path.clone(),
+            line: a.line,
+            col: a.col,
+            message: msg,
+            snippet: file.snippet(a.line),
+        });
+    }
+    findings.sort_by_key(|d| (d.line, d.col, d.lint));
+    FileReport { findings, suppressed }
+}
+
+/// The aggregate result of a `check` run over the workspace.
+pub struct CheckReport {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new_findings: Vec<Diagnostic>,
+    /// Findings covered by the baseline (grandfathered).
+    pub baselined: Vec<Diagnostic>,
+    /// Per-site suppressed findings (accounting only).
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (should be pruned).
+    pub stale_baseline: Vec<String>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl CheckReport {
+    /// True when the gate passes (no new findings).
+    pub fn ok(&self) -> bool {
+        self.new_findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.new_findings {
+            out.push_str(&d.render());
+            out.push('\n');
+            if !d.snippet.is_empty() {
+                out.push_str(&format!("    | {}\n", d.snippet));
+            }
+        }
+        if !self.stale_baseline.is_empty() {
+            out.push_str("\nstale baseline entries (run `fix-baseline` to prune):\n");
+            for s in &self.stale_baseline {
+                out.push_str(&format!("  {s}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "\nanalyzer: {} file(s), {} new finding(s), {} baselined, {} suppressed\n",
+            self.files,
+            self.new_findings.len(),
+            self.baselined.len(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report (telemetry `Json` schema).
+    pub fn render_json(&self) -> String {
+        fn diag_json(d: &Diagnostic) -> Json {
+            Json::obj()
+                .set("lint", d.lint.name())
+                .set("path", d.path.as_str())
+                .set("line", d.line as f64)
+                .set("col", d.col as f64)
+                .set("message", d.message.as_str())
+                .set("snippet", d.snippet.as_str())
+        }
+        let j = Json::obj()
+            .set("schema", "diffreg-analyzer-v1")
+            .set("files", self.files as f64)
+            .set("ok", self.ok())
+            .set("suppressed", self.suppressed as f64)
+            .set(
+                "new_findings",
+                Json::Arr(self.new_findings.iter().map(diag_json).collect()),
+            )
+            .set("baselined", Json::Arr(self.baselined.iter().map(diag_json).collect()))
+            .set(
+                "stale_baseline",
+                Json::Arr(self.stale_baseline.iter().map(|s| Json::from(s.as_str())).collect()),
+            );
+        j.to_string()
+    }
+}
+
+/// Runs the full check over `root`, applying `baseline`.
+pub fn check(root: &Path, mut baseline: Baseline) -> std::io::Result<CheckReport> {
+    let files = workspace_files(root)?;
+    let mut new_findings = Vec::new();
+    let mut baselined = Vec::new();
+    let mut suppressed = 0usize;
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let sf = SourceFile::parse(rel, &text);
+        let rep = analyze_file(&sf);
+        suppressed += rep.suppressed.len();
+        for d in rep.findings {
+            if baseline.matches(&d) {
+                baselined.push(d);
+            } else {
+                new_findings.push(d);
+            }
+        }
+    }
+    Ok(CheckReport {
+        new_findings,
+        baselined,
+        suppressed,
+        stale_baseline: baseline.stale(),
+        files: files.len(),
+    })
+}
+
+/// Computes the diagnostics that would form a fresh baseline for `root`
+/// (all unsuppressed findings except [`Lint::UnusedAllow`], which must
+/// always be fixed at the site).
+pub fn baseline_candidates(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = workspace_files(root)?;
+    let mut out = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let sf = SourceFile::parse(rel, &text);
+        out.extend(
+            analyze_file(&sf).findings.into_iter().filter(|d| d.lint != Lint::UnusedAllow),
+        );
+    }
+    Ok(out)
+}
+
+/// Sanity helper for tests: the distinct lints that fired in a report.
+pub fn lints_fired(diags: &[Diagnostic]) -> BTreeSet<Lint> {
+    diags.iter().map(|d| d.lint).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn analyze(src: &str) -> FileReport {
+        let sf = SourceFile::parse(&PathBuf::from("crates/comm/src/demo.rs"), src);
+        analyze_file(&sf)
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses() {
+        let rep = analyze(
+            "fn f(c: &C) {\n\
+             // diffreg-allow(collective-in-rank-branch): both branches call it symmetrically\n\
+             if rank == 0 { c.barrier(); }\n\
+             }\n",
+        );
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_stacked_allows_work() {
+        let rep = analyze(
+            "fn f(c: &C) {\n\
+             // diffreg-allow(no-unwrap-in-lib): lock poisoning is fatal by design\n\
+             // diffreg-allow(collective-in-rank-branch): demo of stacking\n\
+             if rank == 0 { c.barrier(); m.lock().unwrap(); }\n\
+             }\n",
+        );
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 2);
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected_and_reported() {
+        let rep = analyze(
+            "fn f(c: &C) {\n\
+             // diffreg-allow(collective-in-rank-branch)\n\
+             if rank == 0 { c.barrier(); }\n\
+             }\n",
+        );
+        // The original finding survives AND the malformed allow is flagged.
+        assert_eq!(rep.findings.len(), 2, "{:?}", rep.findings);
+        assert!(rep.findings.iter().any(|d| d.lint == Lint::CollectiveInRankBranch));
+        assert!(rep
+            .findings
+            .iter()
+            .any(|d| d.lint == Lint::UnusedAllow && d.message.contains("no reason")));
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let rep = analyze("// diffreg-allow(float-eq): nothing here anymore\nfn g() {}\n");
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].lint, Lint::UnusedAllow);
+        assert!(rep.findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn doc_comments_mentioning_allow_syntax_are_not_suppressions() {
+        let rep = analyze(
+            "/// Suppress with `// diffreg-allow(float-eq): why` above the line.\n\
+             pub fn documented() {}\n",
+        );
+        // No stale-allow finding for the prose mention (and the doc comment
+        // still counts as documentation for the pub fn).
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert!(rep.suppressed.is_empty());
+    }
+
+    #[test]
+    fn unknown_lint_name_is_reported() {
+        let rep = analyze("// diffreg-allow(not-a-lint): whatever\nfn g() {}\n");
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let rep = CheckReport {
+            new_findings: vec![Diagnostic {
+                lint: Lint::FloatEq,
+                path: "a.rs".into(),
+                line: 3,
+                col: 9,
+                message: "m".into(),
+                snippet: "x == 0.0".into(),
+            }],
+            baselined: vec![],
+            suppressed: 2,
+            stale_baseline: vec![],
+            files: 1,
+        };
+        let j = Json::parse(&rep.render_json()).expect("valid json");
+        assert_eq!(j.get("schema").and_then(|s| s.as_str()), Some("diffreg-analyzer-v1"));
+        let arr = j.get("new_findings").and_then(|a| a.as_arr()).expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("lint").and_then(|s| s.as_str()), Some("float-eq"));
+    }
+}

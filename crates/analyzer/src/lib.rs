@@ -1,0 +1,33 @@
+//! `diffreg-analyzer` — in-tree static analysis and schedule exploration.
+//!
+//! Two halves, one goal: turn the invariants the runtime chaos/telemetry
+//! layers only check *dynamically* into checks that run on every CI pass
+//! without ever executing the solver.
+//!
+//! * **Lint engine** ([`lexer`], [`lint`], [`lints`], [`scope`],
+//!   [`baseline`], [`engine`]) — a small hand-rolled Rust lexer feeds a
+//!   registry of workspace-specific lints (collectives inside rank
+//!   branches, `unwrap` in library code, float `==`, `debug_assert!` side
+//!   effects, undocumented `unsafe`, missing docs on public functions,
+//!   missing `#![forbid(unsafe_code)]`). Findings are suppressible per
+//!   site with `// diffreg-allow(<lint>): <reason>` and grandfatherable
+//!   via a content-addressed baseline file, so the gate is hard from day
+//!   one.
+//! * **Schedule explorer** ([`sched`]) — a loom-lite bounded-preemption
+//!   DFS over the yield points of a cooperative re-implementation of the
+//!   [`diffreg_comm::Comm`] trait, catching schedule-dependent deadlocks
+//!   and result divergence that stress tests only hit probabilistically.
+//!
+//! The binary (`cargo run -p diffreg-analyzer -- check`) is wired into
+//! `scripts/ci.sh` as a hard gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod lint;
+pub mod lints;
+pub mod sched;
+pub mod scope;

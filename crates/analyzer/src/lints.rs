@@ -1,0 +1,588 @@
+//! The lint implementations.
+//!
+//! Each lint is a pure function from a [`SourceFile`] to diagnostics. They
+//! all operate on the lexed token stream (never on raw text), so string
+//! literals, raw strings, and comments can never produce false call sites.
+
+use crate::lexer::TokenKind;
+use crate::lint::{Diagnostic, Lint};
+use crate::scope::{ScopeKind, SourceFile};
+
+/// The `Comm` collective operations the rank-branch lint guards. Every one
+/// of these must be called on all ranks of the communicator in the same
+/// order; a rank-gated call is a hang.
+pub const COLLECTIVES: &[&str] = &[
+    "barrier",
+    "try_barrier",
+    "allreduce",
+    "try_allreduce",
+    "allreduce_usize",
+    "broadcast",
+    "bcast",
+    "allgather",
+    "alltoallv",
+    "try_alltoallv",
+    "scan",
+    "sum_f64",
+    "max_f64",
+    "min_f64",
+    "split",
+];
+
+/// Crates whose non-test library code must not `unwrap()`/`expect()`/
+/// `panic!` (they form the distributed solve path).
+pub const NO_UNWRAP_CRATES: &[&str] =
+    &["comm", "fft", "pfft", "grid", "spectral", "interp", "transport", "optim", "core"];
+
+fn diag(f: &SourceFile, lint: Lint, line: usize, col: usize, message: String) -> Diagnostic {
+    Diagnostic { lint, path: f.path.clone(), line, col, message, snippet: f.snippet(line) }
+}
+
+/// `collective-in-rank-branch`: a collective call lexically inside an
+/// `if`/`match` whose condition mentions `rank`.
+pub fn collective_in_rank_branch(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // Gate stack: one entry per open `{`; `true` = the block's execution is
+    // rank-dependent (directly or via an enclosing gated block).
+    let mut gates: Vec<bool> = Vec::new();
+    // When an `if`/`match` condition mentioned `rank`, the *next* block at
+    // brace level — and, for `if`, its `else` blocks — are gated.
+    let mut pending_gate = false;
+    // The condition text that opened the innermost gate, for the message.
+    let mut gate_cond: Vec<Option<String>> = Vec::new();
+    let mut pending_cond = String::new();
+    // After closing a gated `if` block, an immediately following `else`
+    // re-arms the gate (the else branch is equally rank-dependent).
+    let mut last_closed_gated: Option<String> = None;
+
+    let code = &f.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let tok = &f.tokens[code[i]];
+        if tok.kind == TokenKind::Ident && (tok.text == "if" || tok.text == "match") {
+            // Scan the condition: tokens up to the `{` at bracket depth 0.
+            let mut depth = 0isize;
+            let mut mentions_rank = false;
+            let mut cond = String::new();
+            let mut j = i + 1;
+            while j < code.len() {
+                let t = &f.tokens[code[j]];
+                match t.text.as_str() {
+                    "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
+                    ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+                    "{" if t.kind == TokenKind::Punct && depth == 0 => break,
+                    ";" if t.kind == TokenKind::Punct && depth == 0 => break,
+                    _ => {}
+                }
+                if t.kind == TokenKind::Ident && t.text.to_lowercase().contains("rank") {
+                    mentions_rank = true;
+                }
+                if cond.len() < 60 {
+                    if !cond.is_empty() {
+                        cond.push(' ');
+                    }
+                    cond.push_str(&t.text);
+                }
+                j += 1;
+            }
+            if mentions_rank {
+                pending_gate = true;
+                pending_cond = cond;
+            }
+            last_closed_gated = None;
+            i += 1;
+            continue;
+        }
+        match (tok.kind, tok.text.as_str()) {
+            (TokenKind::Ident, "else") => {
+                // `else` / `else if` after a gated if: the branch is gated.
+                if let Some(cond) = last_closed_gated.take() {
+                    pending_gate = true;
+                    pending_cond = cond;
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                let parent = gates.last().copied().unwrap_or(false);
+                gates.push(parent || pending_gate);
+                gate_cond.push(if pending_gate {
+                    Some(std::mem::take(&mut pending_cond))
+                } else {
+                    gate_cond.last().cloned().flatten()
+                });
+                pending_gate = false;
+                last_closed_gated = None;
+            }
+            (TokenKind::Punct, "}") => {
+                let was_gated = gates.pop().unwrap_or(false);
+                let cond = gate_cond.pop().flatten();
+                let parent = gates.last().copied().unwrap_or(false);
+                last_closed_gated = if was_gated && !parent { cond } else { None };
+            }
+            (TokenKind::Ident, name) => {
+                let gated = gates.last().copied().unwrap_or(false);
+                if gated
+                    && COLLECTIVES.contains(&name)
+                    && i > 0
+                    && f.tokens[code[i - 1]].is_punct(".")
+                    && i + 1 < code.len()
+                    && f.tokens[code[i + 1]].is_punct("(")
+                {
+                    let cond = gate_cond
+                        .iter()
+                        .rev()
+                        .find_map(|c| c.clone())
+                        .unwrap_or_else(|| "rank".into());
+                    out.push(diag(
+                        f,
+                        Lint::CollectiveInRankBranch,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "collective `{name}` called inside a branch on `{cond}`: a \
+                             rank-dependent collective is a guaranteed hang (every rank must \
+                             call it, in the same order)"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// `no-unwrap-in-lib`: `unwrap()` / `expect()` / `panic!` in non-test
+/// library code of the solver crates.
+pub fn no_unwrap_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let in_scope = f
+        .class
+        .crate_name
+        .as_deref()
+        .map(|c| NO_UNWRAP_CRATES.contains(&c))
+        .unwrap_or(false)
+        && f.class.is_lib_src;
+    if !in_scope {
+        return;
+    }
+    let code = &f.code;
+    for i in 0..code.len() {
+        let ti = code[i];
+        if f.is_test_token(ti) {
+            continue;
+        }
+        let tok = &f.tokens[ti];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| i + 1 < code.len() && f.tokens[code[i + 1]].is_punct(s);
+        let prev_is_dot = i > 0 && f.tokens[code[i - 1]].is_punct(".");
+        let hit = match tok.text.as_str() {
+            "unwrap" | "expect" => prev_is_dot && next_is("("),
+            "panic" => next_is("!"),
+            _ => false,
+        };
+        if hit {
+            let what = if tok.text == "panic" { "panic!" } else { &tok.text };
+            out.push(diag(
+                f,
+                Lint::NoUnwrapInLib,
+                tok.line,
+                tok.col,
+                format!(
+                    "`{what}` in solver library code: return a typed error (CommError, ...) \
+                     or annotate with diffreg-allow and a reason"
+                ),
+            ));
+        }
+    }
+}
+
+/// True when a number token denotes a float.
+fn is_float_number(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    if text.contains('.') {
+        return true;
+    }
+    // Decimal exponent form without a dot: 1e9, 2E-3.
+    let has_exp = text
+        .char_indices()
+        .any(|(i, c)| i > 0 && (c == 'e' || c == 'E'))
+        && text.chars().all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '+' | '-' | '_'));
+    has_exp
+}
+
+/// Tokens that terminate an operand scan around `==` / `!=`.
+fn operand_boundary(text: &str) -> bool {
+    matches!(
+        text,
+        "," | ";"
+            | "&&"
+            | "||"
+            | "="
+            | "=="
+            | "!="
+            | "<"
+            | ">"
+            | "<="
+            | ">="
+            | "=>"
+            | "{"
+            | "}"
+            | "return"
+            | "if"
+            | "else"
+            | "while"
+            | "match"
+            | "let"
+            | "?"
+    )
+}
+
+/// `float-eq`: `==`/`!=` with a float-typed operand, outside tests.
+pub fn float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &f.code;
+    for i in 0..code.len() {
+        let ti = code[i];
+        let tok = &f.tokens[ti];
+        if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        if f.is_test_token(ti) {
+            continue;
+        }
+        let mut float_operand = false;
+        // Left operand: walk back, skipping matched () / [] groups.
+        let mut depth = 0isize;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &f.tokens[code[j]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    _ if depth == 0 && operand_boundary(&t.text) => break,
+                    _ => {}
+                }
+            } else if depth == 0 && t.kind == TokenKind::Ident && operand_boundary(&t.text) {
+                break;
+            }
+            if float_token(f, code, j) {
+                float_operand = true;
+            }
+        }
+        // Right operand: walk forward symmetrically.
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        while j < code.len() {
+            let t = &f.tokens[code[j]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    _ if depth == 0 && operand_boundary(&t.text) => break,
+                    _ => {}
+                }
+            } else if depth == 0 && t.kind == TokenKind::Ident && operand_boundary(&t.text) {
+                break;
+            }
+            if float_token(f, code, j) {
+                float_operand = true;
+            }
+            j += 1;
+        }
+        if float_operand {
+            out.push(diag(
+                f,
+                Lint::FloatEq,
+                tok.line,
+                tok.col,
+                format!(
+                    "`{}` between float-typed operands: use an epsilon/ULP comparison, or \
+                     annotate an intentional exact comparison with diffreg-allow and a reason",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Is the code token at position `j` evidence of a float-typed operand
+/// (float literal, `f32`/`f64` path or cast)?
+fn float_token(f: &SourceFile, code: &[usize], j: usize) -> bool {
+    let t = &f.tokens[code[j]];
+    match t.kind {
+        TokenKind::Number => is_float_number(&t.text),
+        TokenKind::Ident => t.text == "f32" || t.text == "f64",
+        _ => false,
+    }
+}
+
+/// Method names treated as mutating inside `debug_assert!` bodies.
+const MUTATING_METHODS: &[&str] = &[
+    "push", "pop", "insert", "remove", "clear", "take", "replace", "truncate", "drain", "retain",
+    "fill", "extend", "next", "swap", "sort", "dedup", "reverse", "write", "store", "fetch_add",
+    "fetch_sub", "advance", "append", "resize",
+];
+
+/// `debug-assert-side-effect`: assignment / mutation inside `debug_assert!`.
+pub fn debug_assert_side_effect(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &f.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let tok = &f.tokens[code[i]];
+        let is_da = tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "debug_assert" | "debug_assert_eq" | "debug_assert_ne")
+            && i + 2 < code.len()
+            && f.tokens[code[i + 1]].is_punct("!")
+            && f.tokens[code[i + 2]].is_punct("(");
+        if !is_da {
+            i += 1;
+            continue;
+        }
+        let macro_name = tok.text.clone();
+        // Scan the macro body to the matching `)`.
+        let mut depth = 0isize;
+        let mut j = i + 2;
+        while j < code.len() {
+            let t = &f.tokens[code[j]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => {
+                        out.push(diag(
+                            f,
+                            Lint::DebugAssertSideEffect,
+                            t.line,
+                            t.col,
+                            format!(
+                                "assignment `{}` inside `{macro_name}!`: the mutation silently \
+                                 disappears in release builds",
+                                t.text
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident
+                && MUTATING_METHODS.contains(&t.text.as_str())
+                && j > 0
+                && f.tokens[code[j - 1]].is_punct(".")
+                && j + 1 < code.len()
+                && f.tokens[code[j + 1]].is_punct("(")
+            {
+                out.push(diag(
+                    f,
+                    Lint::DebugAssertSideEffect,
+                    t.line,
+                    t.col,
+                    format!(
+                        "mutating call `.{}()` inside `{macro_name}!`: the side effect silently \
+                         disappears in release builds",
+                        t.text
+                    ),
+                ));
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// `unsafe-without-safety-comment`: an `unsafe` keyword with no `SAFETY:`
+/// comment on the same line or the three lines above.
+pub fn unsafe_without_safety_comment(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for &ti in &f.code {
+        let tok = &f.tokens[ti];
+        if !(tok.kind == TokenKind::Ident && tok.text == "unsafe") {
+            continue;
+        }
+        let lo = tok.line.saturating_sub(3);
+        let documented = f.tokens.iter().any(|t| {
+            !t.is_code() && t.line >= lo && t.line <= tok.line && t.text.contains("SAFETY")
+        });
+        if !documented {
+            out.push(diag(
+                f,
+                Lint::UnsafeWithoutSafetyComment,
+                tok.line,
+                tok.col,
+                "`unsafe` without a preceding `// SAFETY:` comment explaining why the \
+                 invariants hold"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `pub-fn-missing-docs`: a `pub fn` at crate root or module scope with no
+/// doc comment (or `#[doc = ...]`) attached.
+pub fn pub_fn_missing_docs(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.class.is_lib_src {
+        return;
+    }
+    let code = &f.code;
+    for i in 0..code.len() {
+        let ti = code[i];
+        let tok = &f.tokens[ti];
+        if !(tok.kind == TokenKind::Ident && tok.text == "pub") {
+            continue;
+        }
+        if f.is_test_token(ti) {
+            continue;
+        }
+        if !matches!(f.scope[ti], ScopeKind::File | ScopeKind::Mod) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        let mut j = i + 1;
+        if j < code.len() && f.tokens[code[j]].is_punct("(") {
+            while j < code.len() && !f.tokens[code[j]].is_punct(")") {
+                j += 1;
+            }
+            continue;
+        }
+        // Allow qualifiers between `pub` and `fn`.
+        while j < code.len()
+            && matches!(f.tokens[code[j]].text.as_str(), "const" | "async" | "unsafe" | "extern")
+        {
+            j += 1;
+        }
+        if !(j < code.len() && f.tokens[code[j]].is_ident("fn")) {
+            continue;
+        }
+        let fn_name = f
+            .tokens
+            .get(code.get(j + 1).copied().unwrap_or(usize::MAX))
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if has_doc(f, i) {
+            continue;
+        }
+        out.push(diag(
+            f,
+            Lint::PubFnMissingDocs,
+            tok.line,
+            tok.col,
+            format!("public function `{fn_name}` at module scope has no doc comment"),
+        ));
+    }
+}
+
+/// Does the item whose first code token is at code-position `i` carry a doc
+/// comment or `#[doc ...]` attribute? Walks backwards over attributes and
+/// comments.
+fn has_doc(f: &SourceFile, i: usize) -> bool {
+    let mut k = f.code[i]; // index into `tokens` of the `pub` keyword
+    while k > 0 {
+        k -= 1;
+        let t = &f.tokens[k];
+        if !t.is_code() {
+            if t.text.starts_with("///") || t.text.starts_with("/**") {
+                return true;
+            }
+            // Ordinary comment: keep scanning upward.
+            continue;
+        }
+        if t.is_punct("]") {
+            // Walk back over the attribute group; check for `doc`.
+            let mut depth = 0isize;
+            let mut is_doc = false;
+            loop {
+                let a = &f.tokens[k];
+                if a.is_punct("]") {
+                    depth += 1;
+                } else if a.is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("doc") {
+                    is_doc = true;
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if is_doc {
+                return true;
+            }
+            // Step over the attribute's leading `#` and keep scanning.
+            if k > 0 && f.tokens[k - 1].is_punct("#") {
+                k -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// `forbid-unsafe-missing`: library crate roots must carry
+/// `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe_missing(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.class.is_crate_root {
+        return;
+    }
+    let code = &f.code;
+    let mut found = false;
+    for i in 0..code.len().saturating_sub(6) {
+        if f.tokens[code[i]].is_punct("#")
+            && f.tokens[code[i + 1]].is_punct("!")
+            && f.tokens[code[i + 2]].is_punct("[")
+            && f.tokens[code[i + 3]].is_ident("forbid")
+            && f.tokens[code[i + 4]].is_punct("(")
+            && f.tokens[code[i + 5]].is_ident("unsafe_code")
+        {
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        out.push(diag(
+            f,
+            Lint::ForbidUnsafeMissing,
+            1,
+            1,
+            "library crate root is missing `#![forbid(unsafe_code)]` (the workspace is \
+             unsafe-free; lock the invariant in)"
+                .to_string(),
+        ));
+    }
+}
+
+/// Runs every lint over one file (suppressions and baselines are applied by
+/// the engine, not here).
+pub fn run_all(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    collective_in_rank_branch(f, &mut out);
+    no_unwrap_in_lib(f, &mut out);
+    float_eq(f, &mut out);
+    debug_assert_side_effect(f, &mut out);
+    unsafe_without_safety_comment(f, &mut out);
+    pub_fn_missing_docs(f, &mut out);
+    forbid_unsafe_missing(f, &mut out);
+    out.sort_by_key(|d| (d.line, d.col, d.lint));
+    out
+}

@@ -1,0 +1,116 @@
+//! `diffreg-analyzer` CLI: the static-analysis gate.
+//!
+//! ```text
+//! diffreg-analyzer check [--json] [--root DIR]   # gate: exit 1 on new findings
+//! diffreg-analyzer fix-baseline [--root DIR]     # rewrite ANALYZER_BASELINE.txt
+//! diffreg-analyzer list                          # describe the registered lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new findings (gate fails), 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use diffreg_analyzer::baseline::{Baseline, BASELINE_FILE};
+use diffreg_analyzer::engine;
+use diffreg_analyzer::lint::ALL_LINTS;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: diffreg-analyzer <check [--json] [--root DIR] | fix-baseline [--root DIR] | list>"
+    );
+    ExitCode::from(2)
+}
+
+/// Finds the workspace root: `--root` if given, else walk up from the
+/// current directory to the first ancestor holding a `crates/` directory.
+fn find_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    match cmd.as_str() {
+        "list" => {
+            for l in ALL_LINTS {
+                println!("{:<28} {}", l.name(), l.description());
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let Some(root) = find_root(root_arg) else {
+                eprintln!("diffreg-analyzer: cannot locate workspace root (try --root)");
+                return ExitCode::from(2);
+            };
+            let baseline_text =
+                std::fs::read_to_string(root.join(BASELINE_FILE)).unwrap_or_default();
+            let baseline = Baseline::parse(&baseline_text);
+            let report = match engine::check(&root, baseline) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("diffreg-analyzer: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        "fix-baseline" => {
+            let Some(root) = find_root(root_arg) else {
+                eprintln!("diffreg-analyzer: cannot locate workspace root (try --root)");
+                return ExitCode::from(2);
+            };
+            let diags = match engine::baseline_candidates(&root) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("diffreg-analyzer: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let body = Baseline::render(&diags);
+            if let Err(e) = std::fs::write(root.join(BASELINE_FILE), &body) {
+                eprintln!("diffreg-analyzer: write {BASELINE_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {} with {} entr(ies)", BASELINE_FILE, diags.len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,949 @@
+//! `analyzer::sched` — a loom-lite schedule explorer for the
+//! message-passing runtime.
+//!
+//! The simulated MPI backend (`diffreg_comm::ThreadComm`) runs one OS
+//! thread per rank, so a rank-dependent branch around a collective is a
+//! *schedule-dependent* hang: a test can pass a thousand times and still
+//! deadlock on the machine where the OS scheduler picks a different
+//! interleaving. This module removes the OS from the loop:
+//!
+//! * [`SchedComm`] is a cooperative re-implementation of the
+//!   [`Comm`] trait whose message-level protocols mirror `ThreadComm`
+//!   exactly (buffered tag-matched sends, centralized barrier,
+//!   gather-to-root/fan-out allreduce, pairwise alltoallv, communicator
+//!   splits). Every communication call is a **yield point**: the rank
+//!   thread parks and a deterministic scheduler decides who runs next.
+//! * [`Explorer`] drives a DFS over those yield points under a
+//!   **bounded-preemption budget** (CHESS-style): within the budget the
+//!   interleaving space is explored exhaustively; beyond it, a seeded
+//!   deterministic default schedule is followed.
+//! * Each execution is bit-reproducible from its **schedule** (the list of
+//!   rank choices) and the explorer is bit-reproducible from its **seed**,
+//!   so a failing interleaving replays exactly ([`Explorer::replay`], and
+//!   the seed line printed in [`ExploreReport::summary`]).
+//!
+//! Detected defects:
+//! * **deadlock** — every unfinished rank is parked and no parked
+//!   operation can make progress (e.g. a rank-gated `barrier`): reported
+//!   with a who-waits-on-what table and the exact schedule;
+//! * **divergence** — two schedules complete but produce different
+//!   per-rank results (nondeterminism, e.g. via [`SchedComm::recv_any`]);
+//! * **rank panic** — a rank's closure panics under some schedule.
+
+use diffreg_comm::{CollOp, Comm, CommData, CommStats, ReduceOp, TAG_INTERNAL};
+use diffreg_testkit::Rng;
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Panic payload used to unwind rank threads when an execution is torn
+/// down (deadlock detected, step limit hit). Never user-visible.
+struct SchedAbort;
+
+/// Installs a process-wide panic hook that silences [`SchedAbort`] unwinds
+/// (they are control flow, not failures) and delegates everything else.
+fn install_quiet_hook() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SchedAbort>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A buffered message in flight: `(comm, src_global, tag)` key plus payload.
+struct Envelope {
+    comm: usize,
+    src: usize,
+    tag: u64,
+    type_name: &'static str,
+    bytes: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// What a parked rank wants to do next (the yield-point descriptor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    /// Buffered send: always ready.
+    Send { to: usize },
+    /// Receive from a specific source: ready iff a matching envelope is
+    /// buffered.
+    Recv { comm: usize, from: usize, tag: u64 },
+    /// Receive from any source (`MPI_ANY_SOURCE`): ready iff any envelope
+    /// with the tag is buffered. The intentional nondeterminism hook.
+    RecvAny { comm: usize, tag: u64 },
+    /// Barrier arrival for generation `gen` of `comm`'s barrier.
+    Barrier { comm: usize, gen: u64 },
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Send { to } => write!(f, "send(to={to})"),
+            Op::Recv { from, tag, .. } => write!(f, "recv(src={from}, tag={tag})"),
+            Op::RecvAny { tag, .. } => write!(f, "recv_any(tag={tag})"),
+            Op::Barrier { comm, gen } => write!(f, "barrier(comm={comm}, gen={gen})"),
+        }
+    }
+}
+
+/// Per-communicator barrier state (generation counter).
+struct BarState {
+    gen: u64,
+}
+
+/// A registered communicator: its members as global ranks, in comm order.
+struct CommGroup {
+    members: Vec<usize>,
+}
+
+/// The shared world state of one execution.
+struct Core {
+    /// Parked-op slot per global rank (None = running or finished).
+    want: Vec<Option<Op>>,
+    /// Ranks whose closure returned or unwound.
+    finished: Vec<bool>,
+    /// Mailboxes per destination global rank, in arrival order.
+    mail: Vec<Vec<Envelope>>,
+    /// Registered communicators; id 0 is the world.
+    comms: Vec<CommGroup>,
+    /// Barrier state per communicator.
+    bars: Vec<BarState>,
+    /// The rank currently granted a step (None while scheduling).
+    granted: Option<usize>,
+    /// Execution teardown flag: parked ranks unwind with [`SchedAbort`].
+    poisoned: bool,
+    /// First user panic observed: (rank, rendered payload).
+    panic: Option<(usize, String)>,
+    /// Per-global-rank traffic counters.
+    stats: Vec<CommStats>,
+}
+
+struct Shared {
+    mx: Mutex<Core>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new(ranks: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            mx: Mutex::new(Core {
+                want: vec![None; ranks],
+                finished: vec![false; ranks],
+                mail: (0..ranks).map(|_| Vec::new()).collect(),
+                comms: vec![CommGroup { members: (0..ranks).collect() }],
+                bars: vec![BarState { gen: 0 }],
+                granted: None,
+                poisoned: false,
+                panic: None,
+                stats: vec![CommStats::default(); ranks],
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Is rank `r` at a stable yield point (or finished)?
+///
+/// A rank whose parked barrier op references an already-advanced
+/// generation has been *released* — it just has not woken from its
+/// condvar wait yet and will clear its `want` and keep running without a
+/// grant. The scheduler must treat such a rank as running, otherwise the
+/// stale want is misread as a blocked op and a spurious deadlock is
+/// declared.
+fn parked(core: &Core, r: usize) -> bool {
+    if core.finished[r] {
+        return true;
+    }
+    match &core.want[r] {
+        None => false,
+        Some(Op::Barrier { comm, gen }) => core.bars[*comm].gen == *gen,
+        Some(_) => true,
+    }
+}
+
+/// Is `op` of global rank `r` able to make progress right now?
+fn ready(core: &Core, r: usize, op: &Op) -> bool {
+    match op {
+        Op::Send { .. } => true,
+        Op::Recv { comm, from, tag } => core.mail[r]
+            .iter()
+            .any(|e| e.comm == *comm && e.src == *from && e.tag == *tag),
+        Op::RecvAny { comm, tag } => {
+            core.mail[r].iter().any(|e| e.comm == *comm && e.tag == *tag)
+        }
+        Op::Barrier { comm, gen } => {
+            if core.bars[*comm].gen != *gen {
+                return false; // stale want from a just-released generation
+            }
+            core.comms[*comm].members.iter().all(|&m| {
+                matches!(core.want[m], Some(Op::Barrier { comm: c, gen: g })
+                    if c == *comm && g == *gen)
+            })
+        }
+    }
+}
+
+/// One rank's endpoint of the cooperative communicator.
+///
+/// Implements the full [`Comm`] trait with the same message-level protocols
+/// as `ThreadComm`, plus [`SchedComm::recv_any`] for modelling
+/// `MPI_ANY_SOURCE`-style nondeterminism.
+pub struct SchedComm {
+    shared: Arc<Shared>,
+    /// This endpoint's global (world) rank.
+    grank: usize,
+    /// Communicator id (0 = world).
+    comm_id: usize,
+    /// Rank within the communicator.
+    rank: usize,
+    /// Members of the communicator as global ranks, in comm order.
+    members: Vec<usize>,
+}
+
+impl SchedComm {
+    /// Parks at a yield point wanting `op`; once granted, runs `effect`
+    /// atomically on the world state and returns its value.
+    fn step<T>(&self, op: Op, effect: impl FnOnce(&mut Core) -> T) -> T {
+        let mut core = self.shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        if core.poisoned {
+            drop(core);
+            std::panic::panic_any(SchedAbort);
+        }
+        let is_barrier_gen = match &op {
+            Op::Barrier { comm, gen } => Some((*comm, *gen)),
+            _ => None,
+        };
+        core.want[self.grank] = Some(op);
+        self.shared.cv.notify_all();
+        loop {
+            if core.poisoned {
+                core.want[self.grank] = None;
+                drop(core);
+                std::panic::panic_any(SchedAbort);
+            }
+            // Barrier release: the generation advanced while we were parked.
+            if let Some((comm, gen)) = is_barrier_gen {
+                if core.bars[comm].gen != gen {
+                    core.want[self.grank] = None;
+                    self.shared.cv.notify_all();
+                    return effect(&mut core);
+                }
+            }
+            if core.granted == Some(self.grank) {
+                break;
+            }
+            core = self.shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+        }
+        core.granted = None;
+        core.want[self.grank] = None;
+        let out = effect(&mut core);
+        self.shared.cv.notify_all();
+        out
+    }
+
+    fn send_raw(&self, dst_local: usize, tag: u64, type_name: &'static str, bytes: usize, payload: Box<dyn Any + Send>) {
+        assert!(dst_local < self.members.len(), "send to out-of-range rank {dst_local}");
+        let to = self.members[dst_local];
+        let comm = self.comm_id;
+        let me = self.grank;
+        self.step(Op::Send { to }, move |core| {
+            if to != me {
+                core.stats[me].messages_sent += 1;
+                core.stats[me].bytes_sent += bytes as u64;
+            }
+            core.mail[to].push(Envelope { comm, src: me, tag, type_name, bytes, payload });
+        });
+    }
+
+    fn recv_raw(&self, src_local: usize, tag: u64) -> Envelope {
+        assert!(src_local < self.members.len(), "recv from out-of-range rank {src_local}");
+        let from = self.members[src_local];
+        let comm = self.comm_id;
+        let me = self.grank;
+        self.step(Op::Recv { comm, from, tag }, move |core| {
+            let pos = core.mail[me]
+                .iter()
+                .position(|e| e.comm == comm && e.src == from && e.tag == tag)
+                .expect("scheduler granted recv without a matching envelope");
+            let env = core.mail[me].remove(pos);
+            if env.src != me {
+                core.stats[me].messages_received += 1;
+                core.stats[me].bytes_received += env.bytes as u64;
+            }
+            env
+        })
+    }
+
+    /// Receives the next buffered message with `tag` from *any* source
+    /// (`MPI_ANY_SOURCE`): returns `(source rank, payload)`. This is the
+    /// one deliberately schedule-dependent primitive — the explorer's
+    /// divergence detector exists to catch results that depend on it.
+    pub fn recv_any<T: CommData>(&self, tag: u64) -> (usize, Vec<T>) {
+        let comm = self.comm_id;
+        let me = self.grank;
+        let env = self.step(Op::RecvAny { comm, tag }, move |core| {
+            let pos = core.mail[me]
+                .iter()
+                .position(|e| e.comm == comm && e.tag == tag)
+                .expect("scheduler granted recv_any without a matching envelope");
+            let env = core.mail[me].remove(pos);
+            if env.src != me {
+                core.stats[me].messages_received += 1;
+                core.stats[me].bytes_received += env.bytes as u64;
+            }
+            env
+        });
+        let src_local = self
+            .members
+            .iter()
+            .position(|&g| g == env.src)
+            .expect("recv_any envelope from outside the communicator");
+        let data = env
+            .payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "sched recv_any type mismatch: expected Vec<{}>, got {} ({} bytes)",
+                    std::any::type_name::<T>(),
+                    env.type_name,
+                    env.bytes
+                )
+            });
+        (src_local, *data)
+    }
+
+    fn coll_tag(op: CollOp) -> u64 {
+        TAG_INTERNAL + op as u64
+    }
+}
+
+impl Comm for SchedComm {
+    type Sub = SchedComm;
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn barrier(&self) {
+        let comm = self.comm_id;
+        let core = self.shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        let gen = core.bars[comm].gen;
+        drop(core);
+        self.step(Op::Barrier { comm, gen }, move |core| {
+            // Only the granted rank advances the generation; released peers
+            // run this effect too but observe the already-bumped counter.
+            if core.bars[comm].gen == gen {
+                core.bars[comm].gen += 1;
+            }
+        });
+        // Re-park is unnecessary: either we were granted (and released the
+        // generation) or the generation advanced past us while parked.
+    }
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.send_raw(dst, tag, std::any::type_name::<T>(), bytes, Box::new(data));
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        let env = self.recv_raw(src, tag);
+        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "sched recv type mismatch from rank {src} tag {tag}: expected Vec<{}>, got {} \
+                 ({} bytes)",
+                std::any::type_name::<T>(),
+                env.type_name,
+                env.bytes
+            )
+        })
+    }
+
+    fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
+        if self.size() == 1 {
+            return;
+        }
+        let tag = Self::coll_tag(CollOp::Broadcast);
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, tag, data.clone());
+                }
+            }
+        } else {
+            *data = self.recv(root, tag);
+        }
+    }
+
+    fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let tag = Self::coll_tag(CollOp::Allgather);
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        for dst in 0..self.size() {
+            if dst != self.rank {
+                self.send(dst, tag, data.clone());
+            }
+        }
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv(src, tag));
+            }
+        }
+        out
+    }
+
+    fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), self.size(), "alltoallv part count");
+        let tag = Self::coll_tag(CollOp::Alltoallv);
+        let mut own: Option<Vec<T>> = None;
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(part);
+            } else {
+                self.send(dst, tag, part);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(own.take().expect("own alltoallv part"));
+            } else {
+                out.push(self.recv(src, tag));
+            }
+        }
+        out
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        if self.size() == 1 {
+            return;
+        }
+        let send_tag = Self::coll_tag(CollOp::ReduceSend);
+        let result_tag = Self::coll_tag(CollOp::ReduceResult);
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size() {
+                let part: Vec<f64> = self.recv(src, send_tag);
+                assert_eq!(part.len(), acc.len(), "allreduce contribution length");
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            for dst in 1..self.size() {
+                self.send(dst, result_tag, acc.clone());
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.send(0, send_tag, vals.to_vec());
+            let acc: Vec<f64> = self.recv(0, result_tag);
+            assert_eq!(acc.len(), vals.len(), "allreduce result length");
+            vals.copy_from_slice(&acc);
+        }
+    }
+
+    fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
+        if self.size() == 1 {
+            return;
+        }
+        let send_tag = Self::coll_tag(CollOp::ReduceUsizeSend);
+        let result_tag = Self::coll_tag(CollOp::ReduceUsizeResult);
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size() {
+                let part: Vec<usize> = self.recv(src, send_tag);
+                assert_eq!(part.len(), acc.len(), "allreduce_usize contribution length");
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply_usize(*a, b);
+                }
+            }
+            for dst in 1..self.size() {
+                self.send(dst, result_tag, acc.clone());
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.send(0, send_tag, vals.to_vec());
+            let acc: Vec<usize> = self.recv(0, result_tag);
+            vals.copy_from_slice(&acc);
+        }
+    }
+
+    fn split(&self, color: usize, key: usize) -> SchedComm {
+        let infos = self.allgather(vec![(color, key, self.rank)]);
+        let mut group: Vec<(usize, usize, usize)> =
+            infos.into_iter().map(|v| v[0]).filter(|&(c, _, _)| c == color).collect();
+        group.sort_by_key(|&(_, k, r)| (k, r));
+        let rank = group
+            .iter()
+            .position(|&(_, _, r)| r == self.rank)
+            .expect("split: caller not in its own color group");
+        let members: Vec<usize> = group.iter().map(|&(_, _, r)| self.members[r]).collect();
+        // Register (or find) the communicator for this member list. All
+        // members compute the identical list, so the id is agreed without
+        // extra traffic.
+        let mut core = self.shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        let comm_id = match core.comms.iter().position(|g| g.members == members) {
+            Some(id) => id,
+            None => {
+                core.comms.push(CommGroup { members: members.clone() });
+                core.bars.push(BarState { gen: 0 });
+                core.comms.len() - 1
+            }
+        };
+        drop(core);
+        SchedComm {
+            shared: self.shared.clone(),
+            grank: self.grank,
+            comm_id,
+            rank,
+            members,
+        }
+    }
+
+    fn stats(&self) -> CommStats {
+        let core = self.shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        core.stats[self.grank]
+    }
+
+    fn reset_stats(&self) {
+        let mut core = self.shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        core.stats[self.grank] = CommStats::default();
+    }
+}
+
+/// A deadlock found by the explorer: the schedule that reaches it and the
+/// who-waits-on-what table at the stuck state.
+#[derive(Debug, Clone)]
+pub struct DeadlockInfo {
+    /// The exact schedule (chosen global rank per step) reaching the stuck
+    /// state; feed to [`Explorer::replay`].
+    pub schedule: Vec<usize>,
+    /// One line per rank: finished / blocked-in-op.
+    pub table: Vec<String>,
+}
+
+impl fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deadlock after {} steps; blocked-rank table:", self.schedule.len())?;
+        for line in &self.table {
+            writeln!(f, "  {line}")?;
+        }
+        write!(f, "  schedule: {:?}", self.schedule)
+    }
+}
+
+/// Two completing schedules with different per-rank results.
+#[derive(Debug, Clone)]
+pub struct DivergenceInfo<R> {
+    /// The reference schedule and its results.
+    pub schedule_a: Vec<usize>,
+    /// The diverging schedule and its results.
+    pub schedule_b: Vec<usize>,
+    /// Results under `schedule_a`.
+    pub results_a: Vec<R>,
+    /// Results under `schedule_b`.
+    pub results_b: Vec<R>,
+}
+
+/// The outcome of one scheduled execution.
+#[derive(Debug)]
+pub enum RunOutcome<R> {
+    /// Every rank completed; per-rank results indexed by world rank.
+    Done(Vec<R>),
+    /// No parked operation could make progress.
+    Deadlock(DeadlockInfo),
+    /// A rank's closure panicked: (rank, payload text, schedule).
+    Panic(usize, String, Vec<usize>),
+    /// The per-execution step bound was exceeded (livelock guard).
+    StepLimit(Vec<usize>),
+}
+
+/// Aggregate result of an exploration.
+#[derive(Debug)]
+pub struct ExploreReport<R> {
+    /// Number of executions run.
+    pub schedules: usize,
+    /// True when the bounded-preemption schedule space was fully explored
+    /// (as opposed to stopping at `max_schedules` or at the first defect).
+    pub exhausted: bool,
+    /// First deadlock found, if any.
+    pub deadlock: Option<DeadlockInfo>,
+    /// First cross-schedule result divergence, if any.
+    pub divergence: Option<DivergenceInfo<R>>,
+    /// First rank panic, if any: (rank, payload, schedule).
+    pub panic: Option<(usize, String, Vec<usize>)>,
+    /// The reference (first completing) per-rank results.
+    pub reference: Option<Vec<R>>,
+    /// The seed the exploration ran under (exploration order is a pure
+    /// function of it — rerunning with the same seed finds the same
+    /// counterexample, bitwise).
+    pub seed: u64,
+}
+
+impl<R: fmt::Debug> ExploreReport<R> {
+    /// True when no defect was found.
+    pub fn ok(&self) -> bool {
+        self.deadlock.is_none() && self.divergence.is_none() && self.panic.is_none()
+    }
+
+    /// Human-readable verdict, including the replay line on failure.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "sched: explored {} schedule(s) (exhausted={}, seed=0x{:x})\n",
+            self.schedules, self.exhausted, self.seed
+        );
+        if let Some(d) = &self.deadlock {
+            s.push_str(&format!("DEADLOCK: {d}\n"));
+            s.push_str(&format!(
+                "replay with: Explorer::new(p).seeded(0x{:x}).replay(&{:?}, f)\n",
+                self.seed, d.schedule
+            ));
+        }
+        if let Some(dv) = &self.divergence {
+            s.push_str(&format!(
+                "DIVERGENCE: schedule {:?} -> {:?}\n         vs schedule {:?} -> {:?}\n",
+                dv.schedule_a, dv.results_a, dv.schedule_b, dv.results_b
+            ));
+        }
+        if let Some((r, p, sch)) = &self.panic {
+            s.push_str(&format!("PANIC on rank {r}: {p}\n  schedule: {sch:?}\n"));
+        }
+        if self.ok() {
+            s.push_str("no deadlock, no divergence, no panic\n");
+        }
+        s
+    }
+}
+
+/// The bounded-preemption DFS explorer over [`SchedComm`] programs.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Number of world ranks.
+    pub ranks: usize,
+    /// Preemption budget per schedule (CHESS-style bound): switches away
+    /// from a still-runnable rank beyond this count are not explored.
+    pub max_preemptions: usize,
+    /// Hard cap on the number of executions.
+    pub max_schedules: usize,
+    /// Per-execution step bound (livelock guard).
+    pub max_steps: usize,
+    /// Exploration seed (orders free choices deterministically).
+    pub seed: u64,
+}
+
+impl Explorer {
+    /// A default explorer over `ranks` ranks: preemption budget 2,
+    /// at most 4096 schedules, 10⁴ steps per schedule, fixed seed.
+    pub fn new(ranks: usize) -> Explorer {
+        Explorer {
+            ranks,
+            max_preemptions: 2,
+            max_schedules: 4096,
+            max_steps: 10_000,
+            seed: 0xD1FF_5EED,
+        }
+    }
+
+    /// Builder: sets the exploration seed.
+    pub fn seeded(mut self, seed: u64) -> Explorer {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the preemption budget.
+    pub fn preemptions(mut self, n: usize) -> Explorer {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Builder: caps the number of explored schedules.
+    pub fn budget(mut self, n: usize) -> Explorer {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Runs one execution under `schedule` (free choices beyond it follow
+    /// the seeded default). Use to reproduce a counterexample exactly.
+    pub fn replay<R, F>(&self, schedule: &[usize], f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&SchedComm) -> R + Sync,
+    {
+        let mut rng = Rng::new(self.seed);
+        self.run_once(&f, schedule, &mut rng).0
+    }
+
+    /// Explores the schedule space of `f`, stopping at the first defect,
+    /// at `max_schedules`, or when the bounded space is exhausted.
+    pub fn explore<R, F>(&self, f: F) -> ExploreReport<R>
+    where
+        R: Send + Clone + PartialEq + fmt::Debug,
+        F: Fn(&SchedComm) -> R + Sync,
+    {
+        let mut report = ExploreReport {
+            schedules: 0,
+            exhausted: false,
+            deadlock: None,
+            divergence: None,
+            panic: None,
+            reference: None,
+            seed: self.seed,
+        };
+        let mut rng = Rng::new(self.seed);
+        // DFS stack of schedule prefixes still to try.
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut ref_schedule: Vec<usize> = Vec::new();
+        while let Some(prefix) = stack.pop() {
+            if report.schedules >= self.max_schedules {
+                return report; // budget hit: not exhausted
+            }
+            report.schedules += 1;
+            let (outcome, branches) = self.run_once(&f, &prefix, &mut rng);
+            match outcome {
+                RunOutcome::Done(results) => match &report.reference {
+                    None => {
+                        report.reference = Some(results);
+                        ref_schedule = branches.schedule.clone();
+                    }
+                    Some(reference) => {
+                        if *reference != results {
+                            report.divergence = Some(DivergenceInfo {
+                                schedule_a: ref_schedule.clone(),
+                                schedule_b: branches.schedule.clone(),
+                                results_a: reference.clone(),
+                                results_b: results,
+                            });
+                            return report;
+                        }
+                    }
+                },
+                RunOutcome::Deadlock(info) => {
+                    report.deadlock = Some(info);
+                    return report;
+                }
+                RunOutcome::Panic(r, p, sch) => {
+                    report.panic = Some((r, p, sch));
+                    return report;
+                }
+                RunOutcome::StepLimit(sch) => {
+                    report.panic = Some((
+                        usize::MAX,
+                        format!("step limit {} exceeded (livelock?)", self.max_steps),
+                        sch,
+                    ));
+                    return report;
+                }
+            }
+            // Expand unexplored alternatives, deepest-first.
+            for (k, alts) in branches.alternatives.into_iter().enumerate().rev() {
+                for alt in alts {
+                    let mut p = branches.schedule[..k].to_vec();
+                    p.push(alt);
+                    stack.push(p);
+                }
+            }
+        }
+        report.exhausted = true;
+        report
+    }
+
+    /// Runs one execution, following `prefix` then seeded defaults.
+    /// Returns the outcome plus the executed schedule and, per step, the
+    /// unexplored alternative choices (empty inside the prefix).
+    fn run_once<R, F>(&self, f: &F, prefix: &[usize], rng: &mut Rng) -> (RunOutcome<R>, Branches)
+    where
+        R: Send,
+        F: Fn(&SchedComm) -> R + Sync,
+    {
+        install_quiet_hook();
+        let shared = Shared::new(self.ranks);
+        let mut schedule: Vec<usize> = Vec::new();
+        let mut alternatives: Vec<Vec<usize>> = Vec::new();
+        let mut results: Vec<Option<R>> = (0..self.ranks).map(|_| None).collect();
+        let mut deadlock: Option<DeadlockInfo> = None;
+        let mut step_limit = false;
+
+        let nranks = self.ranks;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.ranks);
+            for r in 0..self.ranks {
+                let shared = shared.clone();
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = SchedComm {
+                        shared: shared.clone(),
+                        grank: r,
+                        comm_id: 0,
+                        rank: r,
+                        members: (0..nranks).collect(),
+                    };
+                    let res = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    let mut core = shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+                    core.want[r] = None;
+                    core.finished[r] = true;
+                    let out = match res {
+                        Ok(v) => Some(v),
+                        Err(p) if p.downcast_ref::<SchedAbort>().is_some() => None,
+                        Err(p) => {
+                            if core.panic.is_none() {
+                                core.panic = Some((r, payload_text(p)));
+                            }
+                            None
+                        }
+                    };
+                    shared.cv.notify_all();
+                    out
+                }));
+            }
+
+            // The scheduler loop (runs on the caller's thread).
+            let mut preemptions = 0usize;
+            let mut core = shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Wait until every rank is parked or finished (ranks with a
+                // stale barrier want are self-releasing: still running).
+                while !(0..self.ranks).all(|r| parked(&core, r)) {
+                    core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                }
+                if core.panic.is_some() || (0..self.ranks).all(|r| core.finished[r]) {
+                    // Poison so any still-parked peers unwind instead of
+                    // waiting forever for a grant (keeps the joins below
+                    // from hanging after a rank panic).
+                    core.poisoned = true;
+                    shared.cv.notify_all();
+                    break;
+                }
+                let ready_set: Vec<usize> = (0..self.ranks)
+                    .filter(|&r| {
+                        !core.finished[r]
+                            && core.want[r].as_ref().map(|op| ready(&core, r, op)).unwrap_or(false)
+                    })
+                    .collect();
+                if ready_set.is_empty() {
+                    // Deadlock: snapshot the table, tear the execution down.
+                    let table: Vec<String> = (0..self.ranks)
+                        .map(|r| {
+                            if core.finished[r] {
+                                format!("rank {r}: finished")
+                            } else {
+                                match &core.want[r] {
+                                    Some(op) => format!("rank {r}: blocked in {op}"),
+                                    None => format!("rank {r}: running"),
+                                }
+                            }
+                        })
+                        .collect();
+                    deadlock = Some(DeadlockInfo { schedule: schedule.clone(), table });
+                    core.poisoned = true;
+                    shared.cv.notify_all();
+                    break;
+                }
+                if schedule.len() >= self.max_steps {
+                    step_limit = true;
+                    core.poisoned = true;
+                    shared.cv.notify_all();
+                    break;
+                }
+                let k = schedule.len();
+                let prev = schedule.last().copied();
+                let cost = |c: usize| -> usize {
+                    match prev {
+                        Some(p) if p != c && ready_set.contains(&p) => 1,
+                        _ => 0,
+                    }
+                };
+                let chosen = if k < prefix.len() {
+                    // Forced choice from the DFS prefix. A prefix is only
+                    // ever built from previously observed ready sets, so it
+                    // must still be ready here (executions are
+                    // deterministic); fall back to a default otherwise.
+                    if ready_set.contains(&prefix[k]) {
+                        prefix[k]
+                    } else {
+                        ready_set[0]
+                    }
+                } else {
+                    // Free choice: seeded shuffle, preemption-bounded.
+                    let mut order = ready_set.clone();
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, rng.index(i + 1));
+                    }
+                    *order
+                        .iter()
+                        .find(|&&c| preemptions + cost(c) <= self.max_preemptions)
+                        .unwrap_or(&order[0])
+                };
+                preemptions += cost(chosen);
+                // Record the unexplored alternatives for DFS expansion
+                // (only beyond the prefix — the prefix's branch points were
+                // expanded when the prefix was generated).
+                let alts: Vec<usize> = if k < prefix.len() {
+                    Vec::new()
+                } else {
+                    ready_set
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != chosen && preemptions + cost(c) <= self.max_preemptions)
+                        .collect()
+                };
+                schedule.push(chosen);
+                alternatives.push(alts);
+                core.granted = Some(chosen);
+                shared.cv.notify_all();
+                while core.granted.is_some() {
+                    core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            drop(core);
+            for (r, h) in handles.into_iter().enumerate() {
+                if let Ok(Some(v)) = h.join().map_err(|_| ()) {
+                    results[r] = Some(v);
+                }
+            }
+        });
+
+        let core = shared.mx.lock().unwrap_or_else(|e| e.into_inner());
+        let outcome = if let Some((r, p)) = core.panic.clone() {
+            RunOutcome::Panic(r, p, schedule.clone())
+        } else if let Some(d) = deadlock {
+            RunOutcome::Deadlock(d)
+        } else if step_limit {
+            RunOutcome::StepLimit(schedule.clone())
+        } else if results.iter().all(Option::is_some) {
+            RunOutcome::Done(results.into_iter().map(|r| r.expect("checked Some")).collect())
+        } else {
+            RunOutcome::Panic(
+                usize::MAX,
+                "rank aborted without result".into(),
+                schedule.clone(),
+            )
+        };
+        (outcome, Branches { schedule, alternatives })
+    }
+}
+
+/// Rendered panic payload (mirrors `comm::threaded`).
+fn payload_text(p: Box<dyn Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".into(),
+        },
+    }
+}
+
+/// The executed schedule of one run plus the per-step unexplored choices.
+struct Branches {
+    schedule: Vec<usize>,
+    alternatives: Vec<Vec<usize>>,
+}

@@ -1,0 +1,68 @@
+//! Golden-file fixture suite.
+//!
+//! Each `fixtures/<name>.rs` holds deliberate violations (or tricky clean
+//! code); its first line is a `//@ path: <virtual repo path>` directive that
+//! sets the file class the lints see. `fixtures/<name>.expected` lists the
+//! surviving diagnostics, one per line, as `<lint>\t<line>` (`#` comments
+//! and blanks ignored). The engine's workspace walk skips `fixtures/`
+//! directories, so these violations never reach the real gate.
+
+use diffreg_analyzer::engine::analyze_file;
+use diffreg_analyzer::lint::{Lint, ALL_LINTS};
+use diffreg_analyzer::scope::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn analyze_fixture(path: &Path) -> (Vec<String>, BTreeSet<Lint>) {
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let first = text.lines().next().unwrap_or("");
+    let virt = first
+        .strip_prefix("//@ path:")
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("{}: missing `//@ path:` directive", path.display()));
+    let sf = SourceFile::parse(Path::new(virt), &text);
+    let rep = analyze_file(&sf);
+    let lines = rep.findings.iter().map(|d| format!("{}\t{}", d.lint, d.line)).collect();
+    let fired = rep.findings.iter().map(|d| d.lint).collect();
+    (lines, fired)
+}
+
+#[test]
+fn fixtures_match_their_expected_diagnostics() {
+    let paths = fixture_paths();
+    assert!(paths.len() >= 10, "expected >= 10 fixtures, found {}", paths.len());
+    for path in &paths {
+        let (got, _) = analyze_fixture(path);
+        let expected_path = path.with_extension("expected");
+        let want_text = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing {}", expected_path.display()));
+        let want: Vec<String> = want_text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        assert_eq!(got, want, "diagnostics mismatch for {}", path.display());
+    }
+}
+
+#[test]
+fn every_registered_lint_fires_in_some_fixture() {
+    let mut fired: BTreeSet<Lint> = BTreeSet::new();
+    for path in fixture_paths() {
+        fired.extend(analyze_fixture(&path).1);
+    }
+    for &lint in ALL_LINTS {
+        assert!(fired.contains(&lint), "no fixture exercises `{lint}`");
+    }
+}

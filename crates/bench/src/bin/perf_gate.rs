@@ -46,6 +46,7 @@ fn emit(args: &[String]) -> ExitCode {
     let inflate = arg_f64(args, "--inflate", 1.0);
 
     let mut suite = run_kernel_suite(warmup, k, &sizes);
+    // diffreg-allow(float-eq): exact sentinel check — 1.0 is the untouched CLI default, never a computed value
     if inflate != 1.0 {
         eprintln!("[perf_gate] inflating all samples by {inflate} (synthetic slowdown)");
         for r in &mut suite.records {

@@ -9,6 +9,7 @@
 //! grids with simulated MPI ranks, and (b) *modeled* rows at the paper's
 //! grid sizes using `diffreg-perfmodel` (DESIGN.md substitution #1/#6).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod kernels;

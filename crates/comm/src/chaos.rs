@@ -182,6 +182,7 @@ impl<C: Comm> ChaosComm<C> {
         };
         if self.cfg.kill_rank == Some(rank) && op == self.cfg.kill_at_op {
             self.log.borrow_mut().push(format!("op{op} {desc} KILL"));
+            // diffreg-allow(no-unwrap-in-lib): the injected kill IS the fault under test — panicking here is the feature
             panic!("chaos: injected kill on rank {rank} at op {op} ({desc})");
         }
         let stalled = self.cfg.stall_rank == Some(rank) && op == self.cfg.stall_at_op;
@@ -229,6 +230,7 @@ impl<C: Comm> ChaosComm<C> {
         ));
         let mut buckets: Vec<Vec<Deferred<C>>> = groups.iter().map(|_| Vec::new()).collect();
         for d in deferred {
+            // diffreg-allow(no-unwrap-in-lib): `groups` was built from this same deferred set — every (dst, tag) is present
             let gi = groups.iter().position(|&g| g == (d.dst, d.tag)).unwrap();
             buckets[gi].push(d);
         }

@@ -39,6 +39,7 @@
 //! assert_eq!(sums, vec![6.0; 4]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chaos;

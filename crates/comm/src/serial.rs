@@ -54,6 +54,7 @@ impl Comm for SerialComm {
     }
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        // diffreg-allow(no-unwrap-in-lib): infallible bridge — aborts with the typed error's rendering; recoverable callers use try_recv
         self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -68,6 +69,7 @@ impl Comm for SerialComm {
                 queued: if queued.is_empty() { "<empty>".into() } else { queued.join(", ") },
             }
         })?;
+        // diffreg-allow(no-unwrap-in-lib): `pos` was produced by `position` on the same queue just above
         let (_, bytes, type_name, boxed) = q.remove(pos).unwrap();
         boxed.downcast::<Vec<T>>().map(|b| *b).map_err(|_| CommError::TypeMismatch {
             rank: 0,
@@ -88,6 +90,7 @@ impl Comm for SerialComm {
     }
 
     fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        // diffreg-allow(no-unwrap-in-lib): infallible bridge — aborts with the typed error's rendering; recoverable callers use try_alltoallv
         self.try_alltoallv(parts).unwrap_or_else(|e| panic!("{e}"))
     }
 

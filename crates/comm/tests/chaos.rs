@@ -100,8 +100,10 @@ fn mismatched_collectives_are_reported_precisely() {
         c.set_contract_checking(true);
         if c.rank() == 0 {
             let mut v = vec![0.0f64];
+            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the contract checker must report it
             c.allreduce(&mut v, ReduceOp::Sum); // rank 0 reduces…
         } else {
+            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the contract checker must report it
             let _ = c.allgather(vec![1u8]); // …rank 1 gathers
         }
     });
@@ -131,8 +133,10 @@ fn watchdog_fires_on_mismatched_collective_without_checker() {
         }));
         if c.rank() == 0 {
             let mut v = vec![0.0f64];
+            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the watchdog must convert it to a timeout
             c.try_allreduce(&mut v, ReduceOp::Sum).unwrap_err()
         } else {
+            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the watchdog must convert it to a timeout
             c.try_barrier().unwrap_err()
         }
     });

@@ -30,6 +30,7 @@
 //! println!("relative mismatch: {}", outcome.relative_mismatch());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checkpoint;

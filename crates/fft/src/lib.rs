@@ -9,6 +9,7 @@
 //! the distributed pencil transform lives in `diffreg-pfft` and calls into
 //! the 1D plans defined here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bluestein;

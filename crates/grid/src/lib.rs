@@ -10,6 +10,7 @@
 //! global reductions and ghost exchanges go through a
 //! [`diffreg_comm::Comm`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;

@@ -6,6 +6,7 @@
 //! (Fig. 6/7, Tables IV-V — see DESIGN.md substitution #4), similarity
 //! metrics, and minimal image IO for the figure binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod brain;

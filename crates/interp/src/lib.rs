@@ -5,6 +5,7 @@
 //! distributed scatter plan of Algorithm 1 that routes off-grid departure
 //! points to their owner ranks and returns interpolated values.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod kernel;

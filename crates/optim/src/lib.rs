@@ -10,6 +10,7 @@
 //! preconditioner callbacks; control over the inner tolerance and the outer
 //! termination criteria).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod newton;

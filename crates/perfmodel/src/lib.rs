@@ -18,6 +18,7 @@
 //! dominates at high counts, and strong-scaling efficiency lands in the
 //! 50-70% band the paper reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A machine model: effective per-task flop rate and network parameters.

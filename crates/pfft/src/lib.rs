@@ -10,6 +10,7 @@
 //! the transpose communication pattern (two alltoallv's within √p-sized
 //! groups) follow the paper's Fig. 4.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod plan;

@@ -156,30 +156,24 @@ impl<C: Comm> PencilFft<C> {
     /// Gradient `∇f` (1 forward + 3 inverse FFTs).
     pub fn gradient(&self, field: &ScalarField, timers: &Timers) -> VectorField {
         let spec = self.forward(field, timers);
-        let mut comps = Vec::with_capacity(3);
-        for axis in 0..3 {
+        let comps = [0usize, 1, 2].map(|axis| {
             let mut s = spec.clone();
             s.differentiate(axis);
-            comps.push(self.inverse(&s, timers));
-        }
-        let c2 = comps.pop().unwrap();
-        let c1 = comps.pop().unwrap();
-        let c0 = comps.pop().unwrap();
-        VectorField { comps: [c0, c1, c2] }
+            self.inverse(&s, timers)
+        });
+        VectorField { comps }
     }
 
     /// Divergence `div v` (3 forward + 1 inverse FFTs).
     pub fn divergence(&self, v: &VectorField, timers: &Timers) -> ScalarField {
-        let mut acc: Option<SpectralField> = None;
-        for axis in 0..3 {
+        let mut acc = self.forward(&v.comps[0], timers);
+        acc.differentiate(0);
+        for axis in 1..3 {
             let mut s = self.forward(&v.comps[axis], timers);
             s.differentiate(axis);
-            match &mut acc {
-                None => acc = Some(s),
-                Some(a) => a.axpy(1.0, &s),
-            }
+            acc.axpy(1.0, &s);
         }
-        self.inverse(&acc.unwrap(), timers)
+        self.inverse(&acc, timers)
     }
 
     /// Leray projection of a vector field onto divergence-free fields (6 FFTs).

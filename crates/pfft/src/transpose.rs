@@ -44,16 +44,15 @@ pub fn fwd_mid<C: Comm>(
     let mut out = vec![Complex64::ZERO; a * nb * c_me];
     for (s, part) in recvd.iter().enumerate() {
         let (sb, cb) = slab(nb, p, s);
-        let mut it = part.iter();
+        let mut off = 0usize;
         for i0 in 0..a {
             for i1 in 0..cb {
                 let base = (i0 * nb + sb + i1) * c_me;
-                for o in &mut out[base..base + c_me] {
-                    *o = *it.next().unwrap();
-                }
+                out[base..base + c_me].copy_from_slice(&part[off..off + c_me]);
+                off += c_me;
             }
         }
-        debug_assert!(it.next().is_none());
+        debug_assert_eq!(off, part.len());
     }
     out
 }
@@ -89,16 +88,15 @@ pub fn inv_mid<C: Comm>(
     let mut out = vec![Complex64::ZERO; a * b_me * nc];
     for (s, part) in recvd.iter().enumerate() {
         let (sc, cc) = slab(nc, p, s);
-        let mut it = part.iter();
+        let mut off = 0usize;
         for i0 in 0..a {
             for i1 in 0..b_me {
                 let base = (i0 * b_me + i1) * nc + sc;
-                for o in &mut out[base..base + cc] {
-                    *o = *it.next().unwrap();
-                }
+                out[base..base + cc].copy_from_slice(&part[off..off + cc]);
+                off += cc;
             }
         }
-        debug_assert!(it.next().is_none());
+        debug_assert_eq!(off, part.len());
     }
     out
 }
@@ -138,16 +136,15 @@ pub fn fwd_spec<C: Comm>(
     let mut out = vec![Complex64::ZERO; na * b_me * c];
     for (s, part) in recvd.iter().enumerate() {
         let (sa, ca) = slab(na, p, s);
-        let mut it = part.iter();
+        let mut off = 0usize;
         for i0 in 0..ca {
             for i1 in 0..b_me {
                 let base = ((sa + i0) * b_me + i1) * c;
-                for o in &mut out[base..base + c] {
-                    *o = *it.next().unwrap();
-                }
+                out[base..base + c].copy_from_slice(&part[off..off + c]);
+                off += c;
             }
         }
-        debug_assert!(it.next().is_none());
+        debug_assert_eq!(off, part.len());
     }
     out
 }
@@ -183,16 +180,15 @@ pub fn inv_spec<C: Comm>(
     let mut out = vec![Complex64::ZERO; a_me * nb * c];
     for (s, part) in recvd.iter().enumerate() {
         let (sb, cb) = slab(nb, p, s);
-        let mut it = part.iter();
+        let mut off = 0usize;
         for i0 in 0..a_me {
             for i1 in 0..cb {
                 let base = (i0 * nb + sb + i1) * c;
-                for o in &mut out[base..base + c] {
-                    *o = *it.next().unwrap();
-                }
+                out[base..base + c].copy_from_slice(&part[off..off + c]);
+                off += c;
             }
         }
-        debug_assert!(it.next().is_none());
+        debug_assert_eq!(off, part.len());
     }
     out
 }

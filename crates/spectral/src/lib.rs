@@ -10,6 +10,7 @@
 //! once; the serial toolbox applies them on full grids and doubles as the
 //! correctness oracle for the distributed implementation in `diffreg-pfft`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod resample;

@@ -25,6 +25,7 @@
 //! JSON is hand-rolled in [`json`] (deterministic serialization, strict
 //! parser) — no serde anywhere.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;

@@ -9,6 +9,7 @@
 //! and their distributed interpolation plans are reused across all solves —
 //! the paper's "interpolation planner" optimization.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod nonstationary;

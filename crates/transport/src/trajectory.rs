@@ -42,6 +42,7 @@ pub fn velocity_is_finite<C: Comm>(ws: &Workspace<C>, v: &VectorField) -> bool {
     let bad_local = v.comps.iter().any(|c| c.data().iter().any(|x| !x.is_finite()));
     let mut flag = [if bad_local { 1.0 } else { 0.0 }];
     ws.comm.allreduce(&mut flag, diffreg_comm::ReduceOp::Sum);
+    // diffreg-allow(float-eq): the flags are exact 0.0/1.0 values; small integer sums are exact in f64
     flag[0] == 0.0
 }
 

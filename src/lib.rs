@@ -36,6 +36,7 @@
 //! assert!(out.relative_mismatch() < 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use diffreg_comm as comm;
