@@ -157,6 +157,33 @@ fn selftest() -> ExitCode {
     if back.as_ref() != Ok(&base) {
         failures.push("suite must round-trip through JSON");
     }
+    // Optional percentile fields: round-trip intact, never gated.
+    let mut with_pcts = suite(1.0);
+    with_pcts.push(
+        BenchRecord::new("newton/krylov/32", vec![5.0e-2, 5.2e-2, 4.8e-2])
+            .with_percentiles(5.0e-2, 5.2e-2),
+    );
+    match BenchSuite::from_json_str(&with_pcts.to_json().to_string()) {
+        Ok(b) if b == with_pcts => {
+            // Bit-exact round-trip check (u64 compare, not float equality).
+            let bits = |v: Option<f64>| v.map(f64::to_bits);
+            let (want_p50, want_p95) = (bits(Some(5.0e-2)), bits(Some(5.2e-2)));
+            let r = b.record("newton/krylov/32");
+            if bits(r.and_then(|r| r.p50_s)) != want_p50
+                || bits(r.and_then(|r| r.p95_s)) != want_p95
+            {
+                failures.push("p50_s/p95_s must survive the JSON round-trip");
+            }
+        }
+        _ => failures.push("suite with percentiles must round-trip through JSON"),
+    }
+    let mut worse_tail = with_pcts.clone();
+    for r in &mut worse_tail.records {
+        r.p95_s = r.p95_s.map(|p| p * 100.0);
+    }
+    if compare_suites(&with_pcts, &worse_tail, 0.25).failed() {
+        failures.push("percentile fields are informational and must not gate");
+    }
 
     print!("{}", slow.render());
     if failures.is_empty() {

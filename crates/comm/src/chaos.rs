@@ -421,4 +421,29 @@ mod tests {
             assert_eq!(s.bytes_received, 64);
         }
     }
+
+    /// Comm event records pass through the chaos layer untouched: the inner
+    /// communicator records them, so a chaos-wrapped program yields the same
+    /// event structure (ops, peers, tags, matching keys) as a bare one —
+    /// only the timestamps shift by the injected delays.
+    #[test]
+    fn decorator_passes_comm_events_through() {
+        use crate::events::CommOp;
+        let logs = run_threaded(2, |c| {
+            c.set_event_recording(true);
+            let chaos = ChaosComm::new(c, ChaosConfig::seeded(3).with_latency(1.0, 30));
+            let peer = 1 - chaos.rank();
+            chaos.send(peer, 9, vec![0u8; 16]);
+            let _: Vec<u8> = chaos.recv(peer, 9);
+            chaos.barrier();
+            c.take_events()
+        });
+        for (rank, log) in logs.iter().enumerate() {
+            let send = log.iter().find(|e| e.op == CommOp::Send).expect("send event");
+            assert_eq!((send.peer, send.tag, send.seq, send.bytes), (Some(1 - rank), Some(9), Some(0), 16));
+            let recv = log.iter().find(|e| e.op == CommOp::Recv).expect("recv event");
+            assert_eq!((recv.peer, recv.tag, recv.seq), (Some(1 - rank), Some(9), Some(0)));
+            assert!(log.iter().any(|e| e.op == CommOp::Barrier && e.epoch.is_some()));
+        }
+    }
 }

@@ -44,6 +44,7 @@
 
 mod chaos;
 mod error;
+mod events;
 mod serial;
 mod stats;
 mod threaded;
@@ -51,6 +52,7 @@ mod traits;
 
 pub use chaos::{ChaosComm, ChaosConfig};
 pub use error::{tag_display, CollOp, CommError, RankFailure, TAG_INTERNAL};
+pub use events::{monotonic_ns, CommEvent, CommOp};
 pub use serial::SerialComm;
 pub use stats::{CommStats, TimerGuard, Timers};
 pub use threaded::{run_threaded, run_threaded_checked, ThreadComm};

@@ -21,7 +21,9 @@ pub struct CommStats {
     pub messages_received: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
-    /// Wall-clock seconds this rank spent blocked in receives and barriers.
+    /// Wall-clock seconds this rank spent blocked in receives, barriers, and
+    /// rendezvous sends (send-side waits accrue when an eager limit is set;
+    /// see `ThreadComm::set_eager_limit`).
     pub blocked_seconds: f64,
 }
 

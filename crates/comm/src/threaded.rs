@@ -31,12 +31,13 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::error::{tag_display, CollOp, CommError, RankFailure, EPOCH_MASK, OP_SHIFT, TAG_INTERNAL};
+use crate::events::{derive_comm_uid, monotonic_ns, CommEvent, CommOp};
 use crate::stats::CommStats;
 use crate::traits::{Comm, CommData, ReduceOp};
 
@@ -58,26 +59,77 @@ enum BlockedOn {
     Running,
     /// Blocked in `recv(src, tag)`.
     Recv { src: usize, tag: u64 },
+    /// Blocked in a rendezvous `send(dst, tag)` waiting for the receiver.
+    Send { dst: usize, tag: u64 },
     /// Blocked in `barrier`.
     Barrier,
     /// The rank's closure panicked ([`run_threaded_checked`] containment).
     Dead,
 }
 
+/// Why a rendezvous send wait ended without the receiver being ready.
+enum SendWait {
+    /// The receiver is blocked in the matching `recv` — deliver now.
+    Ready,
+    /// The receiver's rank died.
+    PeerDead,
+    /// The watchdog timeout expired first.
+    TimedOut,
+}
+
 /// Shared per-communicator blocked-state registry (one slot per rank).
 struct Registry {
     slots: Mutex<Vec<BlockedOn>>,
+    /// Woken on every state change, so rendezvous senders can wait for
+    /// their receiver to block in the matching `recv`.
+    cv: Condvar,
 }
 
 impl Registry {
     fn new(size: usize) -> Arc<Self> {
-        Arc::new(Self { slots: Mutex::new(vec![BlockedOn::Running; size]) })
+        Arc::new(Self {
+            slots: Mutex::new(vec![BlockedOn::Running; size]),
+            cv: Condvar::new(),
+        })
     }
 
     fn set(&self, rank: usize, state: BlockedOn) {
         // Proceed through lock poisoning: the registry must stay writable
         // and readable for the watchdog table even after a rank panicked.
         self.slots.lock().unwrap_or_else(|e| e.into_inner())[rank] = state;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `dst` is observed blocked in `recv(src, tag)` (rendezvous
+    /// handshake), `dst` is dead, or the deadline passes.
+    fn wait_recv_ready(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> SendWait {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match slots[dst] {
+                BlockedOn::Recv { src: s, tag: t } if s == src && t == tag => {
+                    return SendWait::Ready
+                }
+                BlockedOn::Dead => return SendWait::PeerDead,
+                _ => {}
+            }
+            match deadline {
+                None => slots = self.cv.wait(slots).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return SendWait::TimedOut;
+                    }
+                    slots =
+                        self.cv.wait_timeout(slots, d - now).unwrap_or_else(|e| e.into_inner()).0;
+                }
+            }
+        }
     }
 
     /// Renders the who-waits-on-whom table, one line per rank.
@@ -91,6 +143,12 @@ impl Registry {
                 BlockedOn::Running => format!("rank {r}: running (not blocked in comm)"),
                 BlockedOn::Recv { src, tag } => {
                     format!("rank {r}: blocked in recv(src={src}, tag={})", tag_display(*tag))
+                }
+                BlockedOn::Send { dst, tag } => {
+                    format!(
+                        "rank {r}: blocked in rendezvous send(dst={dst}, tag={})",
+                        tag_display(*tag)
+                    )
                 }
                 BlockedOn::Barrier => format!("rank {r}: blocked in barrier"),
                 BlockedOn::Dead => format!("rank {r}: dead (panicked)"),
@@ -205,6 +263,30 @@ fn default_contract() -> bool {
     })
 }
 
+/// Default comm-event recording flag: on when `DIFFREG_TRACE` is set to a
+/// non-empty value other than `0` (the same convention the span tracer
+/// uses), so a traced run collects spans *and* comm events together.
+fn default_events_on() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DIFFREG_TRACE").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
+}
+
+/// Default rendezvous eager limit from `DIFFREG_COMM_EAGER_LIMIT_BYTES`
+/// (unset/empty = eager delivery for every message, the historical behavior).
+fn default_eager_limit() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DIFFREG_COMM_EAGER_LIMIT_BYTES")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+    })
+}
+
 /// One rank's endpoint of a simulated MPI communicator.
 ///
 /// Created by [`run_threaded`] / [`run_threaded_checked`] (the world
@@ -227,6 +309,21 @@ pub struct ThreadComm {
     timeout: Cell<Option<Duration>>,
     /// Whether collective messages carry op/epoch fingerprints.
     contract: Cell<bool>,
+    /// Communicator uid for event records (0 = world; splits derive theirs).
+    comm_uid: u64,
+    /// Per-rank comm event log, shared with sub-communicators created by
+    /// this endpoint so their events land on the same per-rank stream.
+    events: Arc<Mutex<Vec<CommEvent>>>,
+    /// Whether comm calls record [`CommEvent`]s.
+    events_on: Cell<bool>,
+    /// Per-`(peer, tag)` send sequence counters (p2p matching keys).
+    send_seq: RefCell<BTreeMap<(usize, u64), u64>>,
+    /// Per-`(peer, tag)` receive sequence counters (p2p matching keys).
+    recv_seq: RefCell<BTreeMap<(usize, u64), u64>>,
+    /// Rendezvous eager limit: user-tag messages strictly larger than this
+    /// many bytes block the sender until the receiver posts the matching
+    /// receive. `None` = always-eager (the historical behavior).
+    eager_limit: Cell<Option<usize>>,
 }
 
 impl std::fmt::Debug for ThreadComm {
@@ -290,6 +387,12 @@ impl ThreadComm {
             epoch: Cell::new(0),
             timeout: Cell::new(default_timeout()),
             contract: Cell::new(default_contract()),
+            comm_uid: 0,
+            events: Arc::new(Mutex::new(Vec::new())),
+            events_on: Cell::new(default_events_on()),
+            send_seq: RefCell::new(BTreeMap::new()),
+            recv_seq: RefCell::new(BTreeMap::new()),
+            eager_limit: Cell::new(default_eager_limit()),
         }
     }
 
@@ -318,6 +421,103 @@ impl ThreadComm {
     /// Whether collective messages carry op/epoch fingerprints.
     pub fn contract_checking(&self) -> bool {
         self.contract.get()
+    }
+
+    /// Enables/disables comm event recording on this endpoint (inherited by
+    /// sub-communicators created afterwards). Defaults to the `DIFFREG_TRACE`
+    /// convention so traced runs collect spans and comm events together.
+    pub fn set_event_recording(&self, on: bool) {
+        self.events_on.set(on);
+    }
+
+    /// Whether comm calls currently record [`CommEvent`]s.
+    pub fn event_recording(&self) -> bool {
+        self.events_on.get()
+    }
+
+    /// The communicator uid stamped into this endpoint's event records
+    /// (0 = world; splits derive a member-stable uid).
+    pub fn comm_uid(&self) -> u64 {
+        self.comm_uid
+    }
+
+    /// Drains this *rank's* comm event log — including events recorded on
+    /// sub-communicators split off this endpoint, which share the log.
+    /// Events appear in completion order. Call once per rank at the end of
+    /// the SPMD closure, alongside `take_thread_trace`.
+    pub fn take_events(&self) -> Vec<CommEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Sets the rendezvous eager limit: user-tag messages strictly larger
+    /// than `limit` bytes block the sender (accounted into
+    /// [`CommStats::blocked_seconds`]) until the receiver posts the matching
+    /// receive, like MPI's rendezvous protocol. `None` (the default unless
+    /// `DIFFREG_COMM_EAGER_LIMIT_BYTES` is set) keeps every send eager.
+    ///
+    /// **Hazard**: with a finite limit, a symmetric exchange where two ranks
+    /// both send large messages and only then receive deadlocks — exactly as
+    /// it would under real MPI's rendezvous protocol. The watchdog
+    /// (`DIFFREG_COMM_TIMEOUT_MS`) turns such hangs into a
+    /// [`CommError::Timeout`] whose table shows both ranks blocked in
+    /// `rendezvous send`.
+    pub fn set_eager_limit(&self, limit: Option<usize>) {
+        self.eager_limit.set(limit);
+    }
+
+    /// Current rendezvous eager limit (`None` = always-eager).
+    pub fn eager_limit(&self) -> Option<usize> {
+        self.eager_limit.get()
+    }
+
+    fn push_event(&self, ev: CommEvent) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+    }
+
+    /// Next sequence number on a `(peer, tag)` p2p stream.
+    fn next_seq(map: &RefCell<BTreeMap<(usize, u64), u64>>, peer: usize, tag: u64) -> u64 {
+        let mut m = map.borrow_mut();
+        let c = m.entry((peer, tag)).or_insert(0);
+        let s = *c;
+        *c += 1;
+        s
+    }
+
+    /// Records one collective wrapper event around `f`: duration, epoch (read
+    /// *after* `f`, which bumps it first thing), bytes sent during the
+    /// collective, and the blocked-time delta. Collective wrapper events may
+    /// nest (`split` runs an `allgather` inside); p2p events are never
+    /// recorded for the internal stamped messages collectives decompose into.
+    fn with_coll_event<R>(&self, op: CommOp, f: impl FnOnce() -> R) -> R {
+        if !self.events_on.get() {
+            return f();
+        }
+        let t0 = monotonic_ns();
+        let (b0, s0) = {
+            let s = self.stats.borrow();
+            (s.blocked_seconds, s.bytes_sent)
+        };
+        let r = f();
+        let t1 = monotonic_ns();
+        let (b1, s1) = {
+            let s = self.stats.borrow();
+            (s.blocked_seconds, s.bytes_sent)
+        };
+        self.push_event(CommEvent {
+            op,
+            comm: self.comm_uid,
+            csize: self.size,
+            rank: self.rank,
+            peer: None,
+            tag: None,
+            seq: None,
+            bytes: s1.saturating_sub(s0),
+            epoch: Some(self.epoch.get()),
+            t0_ns: t0,
+            t1_ns: t1,
+            blocked_ns: ((b1 - b0).max(0.0) * 1e9) as u64,
+        });
+        r
     }
 
     fn record_send(&self, bytes: usize) {
@@ -365,15 +565,35 @@ impl ThreadComm {
         tag: u64,
     ) -> Result<(usize, &'static str, Box<dyn Any + Send>), CommError> {
         assert!(src < self.size, "recv from out-of-range rank {src}");
+        let record = tag < TAG_INTERNAL && self.events_on.get();
+        let t0_ns = if record { monotonic_ns() } else { 0 };
         let t0 = Instant::now();
         let r = self.recv_raw_inner(src, tag);
-        self.stats.borrow_mut().blocked_seconds += t0.elapsed().as_secs_f64();
+        let waited = t0.elapsed().as_secs_f64();
+        self.stats.borrow_mut().blocked_seconds += waited;
         // Count receive traffic symmetrically with `record_send`: both the
         // direct channel path and the pending-queue pop end up here, and
         // self-receives are excluded just like self-sends.
         if let Ok((bytes, _, _)) = &r {
             if src != self.rank {
                 self.record_recv(*bytes);
+            }
+            if record {
+                let seq = Self::next_seq(&self.recv_seq, src, tag);
+                self.push_event(CommEvent {
+                    op: CommOp::Recv,
+                    comm: self.comm_uid,
+                    csize: self.size,
+                    rank: self.rank,
+                    peer: Some(src),
+                    tag: Some(tag),
+                    seq: Some(seq),
+                    bytes: *bytes as u64,
+                    epoch: None,
+                    t0_ns,
+                    t1_ns: monotonic_ns(),
+                    blocked_ns: (waited * 1e9) as u64,
+                });
             }
         }
         r
@@ -450,7 +670,58 @@ impl ThreadComm {
         result
     }
 
+    /// Body of `try_allreduce`, factored out so the collective wrapper event
+    /// (`with_coll_event`) can surround it in the trait impl.
+    fn try_allreduce_inner(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
+        let e = self.bump_epoch();
+        if self.size == 1 {
+            return Ok(());
+        }
+        let send_tag = self.coll_tag(CollOp::ReduceSend, e);
+        let result_tag = self.coll_tag(CollOp::ReduceResult, e);
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.size {
+                let part: Vec<f64> = self.try_recv(src, send_tag)?;
+                if part.len() != acc.len() {
+                    return Err(CommError::LengthMismatch {
+                        rank: self.rank,
+                        src: Some(src),
+                        what: "allreduce contribution",
+                        expected: acc.len(),
+                        got: part.len(),
+                    });
+                }
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            for dst in 1..self.size {
+                self.try_send(dst, result_tag, acc.clone())?;
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.try_send(0, send_tag, vals.to_vec())?;
+            let acc: Vec<f64> = self.try_recv(0, result_tag)?;
+            if acc.len() != vals.len() {
+                return Err(CommError::LengthMismatch {
+                    rank: self.rank,
+                    src: Some(0),
+                    what: "allreduce result",
+                    expected: vals.len(),
+                    got: acc.len(),
+                });
+            }
+            vals.copy_from_slice(&acc);
+        }
+        Ok(())
+    }
+
     fn try_allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) -> Result<(), CommError> {
+        self.with_coll_event(CommOp::AllreduceUsize, || self.try_allreduce_usize_inner(vals, op))
+    }
+
+    fn try_allreduce_usize_inner(&self, vals: &mut [usize], op: ReduceOp) -> Result<(), CommError> {
         let e = self.bump_epoch();
         if self.size == 1 {
             return Ok(());
@@ -513,22 +784,24 @@ impl Comm for ThreadComm {
     }
 
     fn try_barrier(&self) -> Result<(), CommError> {
-        self.bump_epoch();
-        let timeout = self.timeout.get();
-        self.registry.set(self.rank, BlockedOn::Barrier);
-        let res = self.blocking(|| self.barrier.wait(timeout));
-        self.registry.set(self.rank, BlockedOn::Running);
-        match res {
-            Ok(()) => Ok(()),
-            Err(BarrierFail::Poisoned(peer)) => {
-                Err(CommError::PeerGone { rank: self.rank, peer })
+        self.with_coll_event(CommOp::Barrier, || {
+            self.bump_epoch();
+            let timeout = self.timeout.get();
+            self.registry.set(self.rank, BlockedOn::Barrier);
+            let res = self.blocking(|| self.barrier.wait(timeout));
+            self.registry.set(self.rank, BlockedOn::Running);
+            match res {
+                Ok(()) => Ok(()),
+                Err(BarrierFail::Poisoned(peer)) => {
+                    Err(CommError::PeerGone { rank: self.rank, peer })
+                }
+                Err(BarrierFail::TimedOut) => Err(CommError::Timeout {
+                    rank: self.rank,
+                    waiting_on: "barrier".into(),
+                    table: self.registry.table(),
+                }),
             }
-            Err(BarrierFail::TimedOut) => Err(CommError::Timeout {
-                rank: self.rank,
-                waiting_on: "barrier".into(),
-                table: self.registry.table(),
-            }),
-        }
+        })
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
@@ -542,9 +815,69 @@ impl Comm for ThreadComm {
         if dst != self.rank {
             self.record_send(bytes);
         }
-        self.senders[dst]
+        let record = tag < TAG_INTERNAL && self.events_on.get();
+        let t0 = if record { monotonic_ns() } else { 0 };
+        let mut blocked_ns = 0u64;
+        // Rendezvous protocol: user-tag messages over the eager limit wait
+        // for the receiver to post the matching receive, and the wait is
+        // accounted into `blocked_seconds` — the send-side analogue of the
+        // receive-side accounting in `try_recv_raw`.
+        if dst != self.rank && tag < TAG_INTERNAL {
+            if let Some(limit) = self.eager_limit.get() {
+                if bytes > limit {
+                    let w0 = Instant::now();
+                    self.registry.set(self.rank, BlockedOn::Send { dst, tag });
+                    let wait = self.registry.wait_recv_ready(
+                        dst,
+                        self.rank,
+                        tag,
+                        self.timeout.get().map(|t| Instant::now() + t),
+                    );
+                    self.registry.set(self.rank, BlockedOn::Running);
+                    let waited = w0.elapsed().as_secs_f64();
+                    self.stats.borrow_mut().blocked_seconds += waited;
+                    blocked_ns = (waited * 1e9) as u64;
+                    match wait {
+                        SendWait::Ready => {}
+                        SendWait::PeerDead => {
+                            return Err(CommError::PeerGone { rank: self.rank, peer: dst })
+                        }
+                        SendWait::TimedOut => {
+                            return Err(CommError::Timeout {
+                                rank: self.rank,
+                                waiting_on: format!(
+                                    "rendezvous send(dst={dst}, tag={})",
+                                    tag_display(tag)
+                                ),
+                                table: self.registry.table(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        let sent = self
+            .senders[dst]
             .send((tag, bytes, std::any::type_name::<T>(), Box::new(data)))
-            .map_err(|_| CommError::PeerGone { rank: self.rank, peer: dst })
+            .map_err(|_| CommError::PeerGone { rank: self.rank, peer: dst });
+        if record && sent.is_ok() {
+            let seq = Self::next_seq(&self.send_seq, dst, tag);
+            self.push_event(CommEvent {
+                op: CommOp::Send,
+                comm: self.comm_uid,
+                csize: self.size,
+                rank: self.rank,
+                peer: Some(dst),
+                tag: Some(tag),
+                seq: Some(seq),
+                bytes: bytes as u64,
+                epoch: None,
+                t0_ns: t0,
+                t1_ns: monotonic_ns(),
+                blocked_ns,
+            });
+        }
+        sent
     }
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
@@ -565,39 +898,43 @@ impl Comm for ThreadComm {
     }
 
     fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
-        let e = self.bump_epoch();
-        if self.size == 1 {
-            return;
-        }
-        let tag = self.coll_tag(CollOp::Broadcast, e);
-        if self.rank == root {
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send(dst, tag, data.clone());
-                }
+        self.with_coll_event(CommOp::Broadcast, || {
+            let e = self.bump_epoch();
+            if self.size == 1 {
+                return;
             }
-        } else {
-            *data = self.recv(root, tag);
-        }
+            let tag = self.coll_tag(CollOp::Broadcast, e);
+            if self.rank == root {
+                for dst in 0..self.size {
+                    if dst != root {
+                        self.send(dst, tag, data.clone());
+                    }
+                }
+            } else {
+                *data = self.recv(root, tag);
+            }
+        })
     }
 
     fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
-        let e = self.bump_epoch();
-        let tag = self.coll_tag(CollOp::Allgather, e);
-        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.send(dst, tag, data.clone());
+        self.with_coll_event(CommOp::Allgather, || {
+            let e = self.bump_epoch();
+            let tag = self.coll_tag(CollOp::Allgather, e);
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+            for dst in 0..self.size {
+                if dst != self.rank {
+                    self.send(dst, tag, data.clone());
+                }
             }
-        }
-        for src in 0..self.size {
-            if src == self.rank {
-                out.push(data.clone());
-            } else {
-                out.push(self.recv(src, tag));
+            for src in 0..self.size {
+                if src == self.rank {
+                    out.push(data.clone());
+                } else {
+                    out.push(self.recv(src, tag));
+                }
             }
-        }
-        out
+            out
+        })
     }
 
     fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
@@ -606,34 +943,36 @@ impl Comm for ThreadComm {
     }
 
     fn try_alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
-        let e = self.bump_epoch();
-        if parts.len() != self.size {
-            return Err(CommError::LengthMismatch {
-                rank: self.rank,
-                src: None,
-                what: "alltoallv part count",
-                expected: self.size,
-                got: parts.len(),
-            });
-        }
-        let tag = self.coll_tag(CollOp::Alltoallv, e);
-        let mut own: Vec<T> = Vec::new();
-        for (dst, part) in parts.into_iter().enumerate() {
-            if dst == self.rank {
-                own = part;
-            } else {
-                self.try_send(dst, tag, part)?;
+        self.with_coll_event(CommOp::Alltoallv, || {
+            let e = self.bump_epoch();
+            if parts.len() != self.size {
+                return Err(CommError::LengthMismatch {
+                    rank: self.rank,
+                    src: None,
+                    what: "alltoallv part count",
+                    expected: self.size,
+                    got: parts.len(),
+                });
             }
-        }
-        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
-        for src in 0..self.size {
-            if src == self.rank {
-                out.push(std::mem::take(&mut own));
-            } else {
-                out.push(self.try_recv(src, tag)?);
+            let tag = self.coll_tag(CollOp::Alltoallv, e);
+            let mut own: Vec<T> = Vec::new();
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst == self.rank {
+                    own = part;
+                } else {
+                    self.try_send(dst, tag, part)?;
+                }
             }
-        }
-        Ok(out)
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == self.rank {
+                    out.push(std::mem::take(&mut own));
+                } else {
+                    out.push(self.try_recv(src, tag)?);
+                }
+            }
+            Ok(out)
+        })
     }
 
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
@@ -642,48 +981,7 @@ impl Comm for ThreadComm {
     }
 
     fn try_allreduce(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
-        let e = self.bump_epoch();
-        if self.size == 1 {
-            return Ok(());
-        }
-        let send_tag = self.coll_tag(CollOp::ReduceSend, e);
-        let result_tag = self.coll_tag(CollOp::ReduceResult, e);
-        if self.rank == 0 {
-            let mut acc = vals.to_vec();
-            for src in 1..self.size {
-                let part: Vec<f64> = self.try_recv(src, send_tag)?;
-                if part.len() != acc.len() {
-                    return Err(CommError::LengthMismatch {
-                        rank: self.rank,
-                        src: Some(src),
-                        what: "allreduce contribution",
-                        expected: acc.len(),
-                        got: part.len(),
-                    });
-                }
-                for (a, b) in acc.iter_mut().zip(part) {
-                    *a = op.apply(*a, b);
-                }
-            }
-            for dst in 1..self.size {
-                self.try_send(dst, result_tag, acc.clone())?;
-            }
-            vals.copy_from_slice(&acc);
-        } else {
-            self.try_send(0, send_tag, vals.to_vec())?;
-            let acc: Vec<f64> = self.try_recv(0, result_tag)?;
-            if acc.len() != vals.len() {
-                return Err(CommError::LengthMismatch {
-                    rank: self.rank,
-                    src: Some(0),
-                    what: "allreduce result",
-                    expected: vals.len(),
-                    got: acc.len(),
-                });
-            }
-            vals.copy_from_slice(&acc);
-        }
-        Ok(())
+        self.with_coll_event(CommOp::Allreduce, || self.try_allreduce_inner(vals, op))
     }
 
     fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
@@ -692,44 +990,56 @@ impl Comm for ThreadComm {
     }
 
     fn split(&self, color: usize, key: usize) -> ThreadComm {
-        // Gather (color, key, old_rank) from everyone, compute the group
-        // deterministically, then the group leader mints the channel matrix
-        // and distributes each member's endpoints over the parent comm.
-        let infos = self.allgather(vec![(color, key, self.rank)]);
-        let mut group: Vec<(usize, usize, usize)> =
-            infos.into_iter().map(|v| v[0]).filter(|&(c, _, _)| c == color).collect();
-        group.sort_by_key(|&(_, k, r)| (k, r));
-        // diffreg-allow(no-unwrap-in-lib): self.rank is in `group` by construction — its (color, key, rank) triple was allgathered above
-        let my_new_rank = group.iter().position(|&(_, _, r)| r == self.rank).unwrap();
-        let leader_old_rank = group[0].2;
-        // Every rank bumps the Split epoch, senders and receivers alike, so
-        // the epoch counters stay aligned across the communicator.
-        let e = self.bump_epoch();
-        let tag = self.coll_tag(CollOp::Split, e);
-        let inherit = |sub: ThreadComm| {
-            sub.timeout.set(self.timeout.get());
-            sub.contract.set(self.contract.get());
-            sub
-        };
-        if my_new_rank == 0 {
-            let mut packages = make_channel_matrix(group.len());
-            // Hand out packages to the other members in reverse so that
-            // `pop` yields the highest new rank first.
-            for (new_rank, &(_, _, old_rank)) in group.iter().enumerate().rev() {
-                // diffreg-allow(no-unwrap-in-lib): make_channel_matrix returns exactly group.len() packages, popped once per member
-                let pkg = packages.pop().unwrap();
-                debug_assert_eq!(pkg.rank, new_rank);
-                if new_rank == 0 {
-                    return inherit(ThreadComm::from_package(pkg));
+        self.with_coll_event(CommOp::Split, || {
+            // Gather (color, key, old_rank) from everyone, compute the group
+            // deterministically, then the group leader mints the channel matrix
+            // and distributes each member's endpoints over the parent comm.
+            let infos = self.allgather(vec![(color, key, self.rank)]);
+            let mut group: Vec<(usize, usize, usize)> =
+                infos.into_iter().map(|v| v[0]).filter(|&(c, _, _)| c == color).collect();
+            group.sort_by_key(|&(_, k, r)| (k, r));
+            // diffreg-allow(no-unwrap-in-lib): self.rank is in `group` by construction — its (color, key, rank) triple was allgathered above
+            let my_new_rank = group.iter().position(|&(_, _, r)| r == self.rank).unwrap();
+            let leader_old_rank = group[0].2;
+            // Every rank bumps the Split epoch, senders and receivers alike, so
+            // the epoch counters stay aligned across the communicator.
+            let e = self.bump_epoch();
+            let tag = self.coll_tag(CollOp::Split, e);
+            // Member-stable sub-communicator uid: every member shares
+            // (parent uid, split epoch, color), so all derive the same uid.
+            let sub_uid = derive_comm_uid(self.comm_uid, e, color);
+            let inherit = |mut sub: ThreadComm| {
+                sub.timeout.set(self.timeout.get());
+                sub.contract.set(self.contract.get());
+                sub.events_on.set(self.events_on.get());
+                sub.eager_limit.set(self.eager_limit.get());
+                // The sub-communicator's events land on this rank's stream:
+                // the closure runs on the owning rank's thread, so sharing
+                // the log keeps it per-rank.
+                sub.events = Arc::clone(&self.events);
+                sub.comm_uid = sub_uid;
+                sub
+            };
+            if my_new_rank == 0 {
+                let mut packages = make_channel_matrix(group.len());
+                // Hand out packages to the other members in reverse so that
+                // `pop` yields the highest new rank first.
+                for (new_rank, &(_, _, old_rank)) in group.iter().enumerate().rev() {
+                    // diffreg-allow(no-unwrap-in-lib): make_channel_matrix returns exactly group.len() packages, popped once per member
+                    let pkg = packages.pop().unwrap();
+                    debug_assert_eq!(pkg.rank, new_rank);
+                    if new_rank == 0 {
+                        return inherit(ThreadComm::from_package(pkg));
+                    }
+                    self.send(old_rank, tag, vec![pkg]);
                 }
-                self.send(old_rank, tag, vec![pkg]);
+                unreachable!("leader always returns its own package");
+            } else {
+                let mut pkgs: Vec<Package> = self.recv(leader_old_rank, tag);
+                // diffreg-allow(no-unwrap-in-lib): the leader sends exactly one package per member
+                inherit(ThreadComm::from_package(pkgs.pop().unwrap()))
             }
-            unreachable!("leader always returns its own package");
-        } else {
-            let mut pkgs: Vec<Package> = self.recv(leader_old_rank, tag);
-            // diffreg-allow(no-unwrap-in-lib): the leader sends exactly one package per member
-            inherit(ThreadComm::from_package(pkgs.pop().unwrap()))
-        }
+        })
     }
 
     fn stats(&self) -> CommStats {
@@ -1108,6 +1418,133 @@ mod tests {
             other => panic!("expected Timeout, got {other:?}"),
         }
         assert!(err.to_string().contains("blocked-rank table"));
+    }
+
+    #[test]
+    fn events_record_p2p_and_collectives() {
+        let logs = run_threaded(2, |c| {
+            c.set_event_recording(true);
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64; 4]);
+            } else {
+                let _: Vec<f64> = c.recv(0, 7);
+            }
+            c.barrier();
+            let mut v = vec![1.0];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            let sub = c.split(c.rank() % 2, 0);
+            assert!(sub.event_recording(), "recording is inherited by splits");
+            let _ = sub.sum_f64(1.0);
+            c.take_events()
+        });
+        // p2p matching key: (comm, src, dst, tag, seq) identical on both ends.
+        let send = logs[0].iter().find(|e| e.op == CommOp::Send).unwrap();
+        assert_eq!((send.peer, send.tag, send.seq, send.bytes), (Some(1), Some(7), Some(0), 32));
+        assert!(send.t1_ns >= send.t0_ns);
+        let recv = logs[1].iter().find(|e| e.op == CommOp::Recv).unwrap();
+        assert_eq!((recv.peer, recv.tag, recv.seq, recv.bytes), (Some(0), Some(7), Some(0), 32));
+        assert_eq!((send.comm, recv.comm), (0, 0));
+        // Collective wrapper events: same (comm, op, epoch) group on every rank.
+        for op in [CommOp::Barrier, CommOp::Allreduce, CommOp::Allgather, CommOp::Split] {
+            let e0 = logs[0].iter().find(|e| e.op == op).unwrap();
+            let e1 = logs[1].iter().find(|e| e.op == op).unwrap();
+            assert_eq!(e0.epoch, e1.epoch, "{op:?} epochs align");
+            assert_eq!((e0.comm, e0.csize), (e1.comm, 2), "{op:?} comm/size align");
+            assert!(e0.epoch.is_some());
+        }
+        // Sub-communicator events share the per-rank log; the two singleton
+        // subcomms (color = rank) have distinct, member-derived uids.
+        let sub0 = logs[0].iter().find(|e| e.op == CommOp::Allreduce && e.csize == 1).unwrap();
+        let sub1 = logs[1].iter().find(|e| e.op == CommOp::Allreduce && e.csize == 1).unwrap();
+        assert_ne!(sub0.comm, 0);
+        assert_ne!(sub0.comm, sub1.comm, "different colors get different uids");
+        // No internal stamped messages leak into the p2p stream.
+        assert!(logs.iter().flatten().all(|e| e.tag.is_none_or(|t| t < TAG_INTERNAL)));
+    }
+
+    #[test]
+    fn events_cover_pending_queue_path() {
+        let logs = run_threaded(2, |c| {
+            c.set_event_recording(true);
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1u8]);
+                c.send(1, 2, vec![2u8, 3]);
+            } else {
+                let _: Vec<u8> = c.recv(0, 2); // buffers tag 1 in pending
+                let _: Vec<u8> = c.recv(0, 1); // pops from pending
+            }
+            c.take_events()
+        });
+        let recvs: Vec<&CommEvent> =
+            logs[1].iter().filter(|e| e.op == CommOp::Recv).collect();
+        assert_eq!(recvs.len(), 2, "pending-queue pops emit events too");
+        assert_eq!((recvs[0].tag, recvs[0].bytes, recvs[0].seq), (Some(2), 2, Some(0)));
+        assert_eq!((recvs[1].tag, recvs[1].bytes, recvs[1].seq), (Some(1), 1, Some(0)));
+        assert_eq!(logs[0].iter().filter(|e| e.op == CommOp::Send).count(), 2);
+    }
+
+    #[test]
+    fn events_off_by_default_and_drainable() {
+        let logs = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![0u8; 8]);
+            } else {
+                let _: Vec<u8> = c.recv(0, 3);
+            }
+            c.barrier();
+            c.take_events()
+        });
+        assert!(logs.iter().all(Vec::is_empty), "no recording unless enabled");
+    }
+
+    #[test]
+    fn rendezvous_send_accounts_blocked_time_under_slow_receiver() {
+        // Satellite pin: send-side waits must accrue into
+        // `CommStats.blocked_seconds` (historically only recv/barrier did).
+        let out = run_threaded(2, |c| {
+            c.set_event_recording(true);
+            if c.rank() == 0 {
+                c.set_eager_limit(Some(0));
+                c.send(1, 5, vec![0u8; 64]);
+            } else {
+                // Deliberately slow receiver: the sender must block ~60ms in
+                // the rendezvous handshake before the channel send happens.
+                std::thread::sleep(Duration::from_millis(60));
+                let _: Vec<u8> = c.recv(0, 5);
+            }
+            (c.stats(), c.take_events())
+        });
+        let (s0, ev0) = &out[0];
+        assert!(
+            s0.blocked_seconds >= 0.04,
+            "send-side blocked time must accrue: {}",
+            s0.blocked_seconds
+        );
+        let send = ev0.iter().find(|e| e.op == CommOp::Send).unwrap();
+        assert!(send.blocked_ns >= 40_000_000, "event blocked_ns: {}", send.blocked_ns);
+        assert!(send.t1_ns - send.t0_ns >= send.blocked_ns);
+        // The receiver was the late party; it barely blocked at all.
+        let (s1, _) = &out[1];
+        assert!(s1.blocked_seconds < s0.blocked_seconds);
+    }
+
+    #[test]
+    fn rendezvous_send_times_out_with_table() {
+        let out = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.set_timeout(Some(Duration::from_millis(80)));
+                c.set_eager_limit(Some(0));
+                let err = c.try_send(1, 6, vec![0u8; 32]).unwrap_err();
+                Some(err.to_string())
+            } else {
+                // Never posts the receive inside the sender's watchdog window.
+                std::thread::sleep(Duration::from_millis(250));
+                None
+            }
+        });
+        let msg = out[0].clone().unwrap();
+        assert!(msg.contains("rendezvous send"), "{msg}");
+        assert!(msg.contains("blocked-rank table"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! `diffreg-doctor` — the cross-rank wait-state doctor CLI.
+//!
+//! Thin wrapper over `diffreg_telemetry::doctor`: loads a trace bundle
+//! directory (written by a traced run via `doctor::write_trace_bundle`),
+//! runs the merge/match/classify/critical-path analysis, writes
+//! `doctor-report.txt` and `metrics.prom` back into the bundle directory,
+//! and optionally hard-gates on analysis health.
+//!
+//! ```text
+//! diffreg-doctor analyze --dir target/doctor-smoke [--top 10] [--grid 32]
+//!                        [--gate] [--min-coverage 0.9]
+//! diffreg-doctor selftest
+//! ```
+//!
+//! With `--grid N` the report includes the paper's §III-C4 performance-model
+//! prediction (Maverick machine constants) next to the measured
+//! critical-path FFT/interp aggregates.
+
+use std::process::ExitCode;
+
+use diffreg_comm::{CommEvent, CommOp};
+use diffreg_telemetry::doctor::{
+    analyze, DoctorInput, RankRecord, Span, WaitKind,
+};
+use diffreg_telemetry::{MetricsRegistry, PredictedPhases};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("diffreg-doctor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("selftest") => cmd_selftest(),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  diffreg-doctor analyze --dir <bundle-dir> [--top K] [--grid N] [--gate] [--min-coverage F]
+  diffreg-doctor selftest
+
+analyze reads a trace bundle (trace.json + events-rank<k>.jsonl [+ metrics.json]),
+writes doctor-report.txt and metrics.prom into the bundle directory, and prints
+the report. --gate exits nonzero unless every p2p message matched, no collective
+group is incomplete, and critical-path coverage meets --min-coverage (default 0.9).
+--grid N adds the paper's performance-model predicted column for an N^3 grid.";
+
+struct AnalyzeOpts {
+    dir: Option<String>,
+    top: usize,
+    grid: Option<usize>,
+    gate: bool,
+    min_coverage: f64,
+}
+
+fn parse_analyze(args: &[String]) -> Result<AnalyzeOpts, String> {
+    let mut opts =
+        AnalyzeOpts { dir: None, top: 10, grid: None, gate: false, min_coverage: 0.9 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--dir" => opts.dir = Some(value("--dir")?.clone()),
+            "--top" => {
+                opts.top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs an integer".to_string())?;
+            }
+            "--grid" => {
+                opts.grid = Some(
+                    value("--grid")?
+                        .parse()
+                        .map_err(|_| "--grid needs an integer".to_string())?,
+                );
+            }
+            "--gate" => opts.gate = true,
+            "--min-coverage" => {
+                opts.min_coverage = value("--min-coverage")?
+                    .parse()
+                    .map_err(|_| "--min-coverage needs a number".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let opts = parse_analyze(args)?;
+    let dir = opts.dir.ok_or(format!("analyze needs --dir\n{USAGE}"))?;
+    let input = DoctorInput::load_dir(&dir)?;
+    let report = analyze(&input);
+    let predicted = opts.grid.map(|n| {
+        let shape = diffreg_perfmodel::SolveShape::paper_scaling();
+        let b = diffreg_perfmodel::model_solve(
+            &diffreg_perfmodel::Machine::MAVERICK,
+            [n, n, n],
+            report.ranks.max(1),
+            &shape,
+        );
+        PredictedPhases {
+            fft_comm: b.fft_comm,
+            fft_exec: b.fft_exec,
+            interp_comm: b.interp_comm,
+            interp_exec: b.interp_exec,
+        }
+    });
+    let text = report.render(opts.top, predicted.as_ref());
+    let prom = report.prometheus();
+    let dir_path = std::path::Path::new(&dir);
+    std::fs::write(dir_path.join("doctor-report.txt"), &text)
+        .map_err(|e| format!("write doctor-report.txt: {e}"))?;
+    std::fs::write(dir_path.join("metrics.prom"), &prom)
+        .map_err(|e| format!("write metrics.prom: {e}"))?;
+    print!("{text}");
+    println!(
+        "wrote {} and {}",
+        dir_path.join("doctor-report.txt").display(),
+        dir_path.join("metrics.prom").display()
+    );
+    if opts.gate {
+        report.gate(opts.min_coverage).map_err(|e| format!("gate failed: {e}"))?;
+        println!(
+            "gate ok: {}/{} p2p matched, {} collectives complete, coverage {:.1}%",
+            report.matched.len(),
+            report.p2p_sends,
+            report.collectives.len(),
+            report.coverage * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Synthetic two-rank late-sender scenario: the analysis pipeline must match
+/// the pair, classify the wait, and explain the whole wall clock.
+fn cmd_selftest() -> Result<(), String> {
+    let ms = 1_000_000u64;
+    let recv = CommEvent {
+        op: CommOp::Recv,
+        comm: 0,
+        csize: 2,
+        rank: 0,
+        peer: Some(1),
+        tag: Some(7),
+        seq: Some(0),
+        bytes: 256,
+        epoch: None,
+        t0_ns: 0,
+        t1_ns: 120 * ms,
+        blocked_ns: 120 * ms,
+    };
+    let send = CommEvent {
+        op: CommOp::Send,
+        comm: 0,
+        csize: 2,
+        rank: 1,
+        peer: Some(0),
+        tag: Some(7),
+        seq: Some(0),
+        bytes: 256,
+        epoch: None,
+        t0_ns: 100 * ms,
+        t1_ns: 120 * ms,
+        blocked_ns: 0,
+    };
+    let input = DoctorInput {
+        ranks: vec![
+            RankRecord {
+                rank: 0,
+                events: vec![recv],
+                spans: vec![Span { name: "newton.pcg".into(), t0_ns: 0, t1_ns: 130 * ms }],
+            },
+            RankRecord { rank: 1, events: vec![send], spans: vec![] },
+        ],
+        metrics: MetricsRegistry::new(),
+    };
+    let report = analyze(&input);
+    if report.matched.len() != 1 || report.unmatched_sends + report.unmatched_recvs != 0 {
+        return Err(format!(
+            "selftest: matching failed ({} matched, {} unmatched)",
+            report.matched.len(),
+            report.unmatched_sends + report.unmatched_recvs
+        ));
+    }
+    let late = report
+        .waits
+        .iter()
+        .find(|w| w.kind == WaitKind::LateSender)
+        .ok_or("selftest: no late-sender finding")?;
+    if (late.waiter, late.culprit) != (0, 1) || late.phase != "newton.pcg" {
+        return Err(format!(
+            "selftest: late-sender misattributed (waiter {}, culprit {}, phase {})",
+            late.waiter, late.culprit, late.phase
+        ));
+    }
+    report.gate(0.9).map_err(|e| format!("selftest: {e}"))?;
+    let prom = report.prometheus();
+    if !prom.contains("diffreg_comm_wait_seconds_bucket{kind=\"late-sender\"") {
+        return Err("selftest: wait histogram missing from Prometheus snapshot".into());
+    }
+    println!(
+        "selftest ok: late-sender {:.3} s attributed to rank 1, coverage {:.1}%",
+        late.wait_s,
+        report.coverage * 100.0
+    );
+    Ok(())
+}

@@ -51,8 +51,18 @@ impl ScatterPlan {
             slot_of.push(outgoing[owner].len());
             outgoing[owner].push(x);
         }
-        let assigned = timers.time("interp_comm", || comm.alltoallv(outgoing));
+        let assigned = timers.time("interp_comm", || {
+            diffreg_telemetry::with_span("interp.scatter", || comm.alltoallv(outgoing))
+        });
         timers.count("interp_points_routed", points.len() as u64);
+        diffreg_telemetry::observe_global(
+            "diffreg_interp_scatter_points",
+            points.len() as f64,
+        );
+        diffreg_telemetry::observe_global(
+            "diffreg_interp_scatter_bytes",
+            std::mem::size_of_val(points) as f64,
+        );
         Self { grid, n_local: points.len(), owner_of, slot_of, assigned }
     }
 
@@ -117,7 +127,13 @@ impl ScatterPlan {
                 .collect()
         });
         timers.count("interp_points_evaluated", (self.assigned_len() * nf) as u64);
-        let returned = timers.time("interp_comm", || comm.alltoallv(values));
+        diffreg_telemetry::observe_global(
+            "diffreg_interp_scatter_values",
+            (self.assigned_len() * nf) as f64,
+        );
+        let returned = timers.time("interp_comm", || {
+            diffreg_telemetry::with_span("interp.scatter", || comm.alltoallv(values))
+        });
         // Unscatter into original order.
         let mut out = vec![vec![0.0; self.n_local]; nf];
         for i in 0..self.n_local {

@@ -40,7 +40,7 @@ pub fn fwd_mid<C: Comm>(
         }
         parts.push(part);
     }
-    let recvd = comm.alltoallv(parts);
+    let recvd = diffreg_telemetry::with_span("fft.transpose", || comm.alltoallv(parts));
     let mut out = vec![Complex64::ZERO; a * nb * c_me];
     for (s, part) in recvd.iter().enumerate() {
         let (sb, cb) = slab(nb, p, s);
@@ -84,7 +84,7 @@ pub fn inv_mid<C: Comm>(
         }
         parts.push(part);
     }
-    let recvd = comm.alltoallv(parts);
+    let recvd = diffreg_telemetry::with_span("fft.transpose", || comm.alltoallv(parts));
     let mut out = vec![Complex64::ZERO; a * b_me * nc];
     for (s, part) in recvd.iter().enumerate() {
         let (sc, cc) = slab(nc, p, s);
@@ -132,7 +132,7 @@ pub fn fwd_spec<C: Comm>(
         }
         parts.push(part);
     }
-    let recvd = comm.alltoallv(parts);
+    let recvd = diffreg_telemetry::with_span("fft.transpose", || comm.alltoallv(parts));
     let mut out = vec![Complex64::ZERO; na * b_me * c];
     for (s, part) in recvd.iter().enumerate() {
         let (sa, ca) = slab(na, p, s);
@@ -176,7 +176,7 @@ pub fn inv_spec<C: Comm>(
         }
         parts.push(part);
     }
-    let recvd = comm.alltoallv(parts);
+    let recvd = diffreg_telemetry::with_span("fft.transpose", || comm.alltoallv(parts));
     let mut out = vec![Complex64::ZERO; a_me * nb * c];
     for (s, part) in recvd.iter().enumerate() {
         let (sb, cb) = slab(nb, p, s);

@@ -86,6 +86,11 @@ impl Json {
             Json::Num(x) => {
                 if !x.is_finite() {
                     out.push_str("null");
+                // diffreg-allow(float-eq): exact zero test — negative zero must keep its sign through the integral fast path
+                } else if *x == 0.0 && x.is_sign_negative() {
+                    // `-0.0 as i64` is 0, which would silently drop the sign;
+                    // "-0" parses back to -0.0, so the bit pattern survives.
+                    out.push_str("-0");
                 } else if *x == x.trunc() && x.abs() < 1e15 {
                     // Integral values print without a fraction, so counters
                     // stay grep-able (`"samples":9`, not `"samples":9.0`).
@@ -123,7 +128,7 @@ impl Json {
     /// Strict parser: the whole input must be one JSON value (surrounding
     /// whitespace allowed). Returns a readable error with a byte offset.
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -207,9 +212,15 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting depth the parser accepts. Recursive descent uses
+/// the call stack, so unbounded `[[[[…` input would overflow it; telemetry
+/// artifacts nest a handful of levels at most.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -256,12 +267,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -272,6 +293,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -281,10 +303,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -300,6 +324,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -341,17 +366,41 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err("truncated \\u escape".into());
+                            let cp = self.hex4()?;
+                            if (0xDC00..=0xDFFF).contains(&cp) {
+                                return Err(format!(
+                                    "lone low surrogate \\u{cp:04x} at byte {}",
+                                    self.pos
+                                ));
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            // Surrogates are replaced, not paired — telemetry
-                            // strings are ASCII in practice.
-                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            let cp = if (0xD800..=0xDBFF).contains(&cp) {
+                                // High surrogate: must be immediately followed
+                                // by a `\uDC00`–`\uDFFF` escape; the pair maps
+                                // to one supplementary-plane scalar.
+                                if self.peek() != Some(b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "unpaired high surrogate \\u{cp:04x} at byte {}",
+                                        self.pos
+                                    ));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(format!(
+                                        "high surrogate \\u{cp:04x} followed by \
+                                         non-low-surrogate \\u{lo:04x}"
+                                    ));
+                                }
+                                0x1_0000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                cp
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("bad code point U+{cp:04X}"))?,
+                            );
                         }
                         c => return Err(format!("bad escape '\\{}'", c as char)),
                     }
@@ -359,6 +408,22 @@ impl Parser<'_> {
                 _ => return Err("unterminated string".into()),
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape (the `\u` itself has
+    /// already been consumed) and returns the code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("bad \\u escape '{hex}' at byte {}", self.pos));
+        }
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -431,5 +496,67 @@ mod tests {
     fn parses_numbers_and_unicode() {
         assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
         assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // U+1F600 GRINNING FACE = 😀.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        // Uppercase hex digits are fine too.
+        assert_eq!(
+            Json::parse("\"\\uD800\\uDC00\"").unwrap(),
+            Json::Str("\u{10000}".into())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // High surrogate at end of string.
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        // High surrogate followed by a non-escape character.
+        assert!(Json::parse("\"\\ud83dx\"").is_err());
+        // High surrogate followed by a non-low-surrogate escape.
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        // Bare low surrogate.
+        assert!(Json::parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = Json::Num(-0.0).to_string();
+        assert_eq!(text, "-0");
+        let back = Json::parse(&text).unwrap();
+        match back {
+            Json::Num(x) => {
+                assert_eq!(x, 0.0);
+                assert!(x.is_sign_negative(), "sign of -0.0 must survive");
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_fatal() {
+        // Within the limit: parses fine.
+        let ok = format!("{}{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&ok).is_ok());
+        // Past the limit: clean error, no stack overflow.
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Depth counter unwinds: siblings after a deep branch still parse.
+        let wide = "[[1],[2],[3]]";
+        assert!(Json::parse(wide).is_ok());
+    }
+
+    #[test]
+    fn bad_unicode_escapes_are_rejected() {
+        assert!(Json::parse("\"\\uZZZZ\"").is_err());
+        assert!(Json::parse("\"\\u00\"").is_err());
+        // `from_str_radix` would accept "+aff" — the explicit digit check must not.
+        assert!(Json::parse("\"\\u+aff\"").is_err());
     }
 }

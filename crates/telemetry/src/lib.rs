@@ -21,6 +21,17 @@
 //! * [`results`] — the canonical benchmark-results schema
 //!   (`results/<suite>.json`) shared by every bench binary and the CI
 //!   perf-regression gate, plus the gate comparison itself.
+//! * [`metrics`] — counters, gauges, and log₂-bucket [`Histogram`]s with a
+//!   deterministic Prometheus text-exposition renderer; the doctor derives
+//!   comm-op latency distributions into it and the interp scatter records
+//!   its per-exchange sizes.
+//! * [`doctor`] — the cross-rank wait-state doctor: merges every rank's
+//!   comm event stream (see `diffreg_comm::CommEvent`) and span trace,
+//!   matches sends to receives, groups collectives by epoch, classifies
+//!   late-sender / late-receiver / wait-at-collective /
+//!   imbalance-at-collective losses, walks the cross-rank critical path,
+//!   and renders a deterministic report (the `diffreg-doctor` CLI is a thin
+//!   wrapper over it).
 //!
 //! JSON is hand-rolled in [`json`] (deterministic serialization, strict
 //! parser) — no serde anywhere.
@@ -29,19 +40,24 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod doctor;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod results;
 pub mod span;
 
 pub use convergence::{ConvergenceLog, IterRecord, SolverEvent, StreamEntry};
 pub use json::Json;
+pub use metrics::{
+    count_global, observe_global, take_global_metrics, Histogram, MetricsRegistry,
+};
 pub use report::{collect_phase_report, PhaseEntry, PhaseReport, PredictedPhases};
 pub use results::{
     compare_suites, hostname, BenchRecord, BenchSuite, GateFinding, GateReport,
 };
 pub use span::{
-    chrome_trace, set_trace_enabled, span, take_thread_trace, trace_enabled,
+    chrome_trace, chrome_trace_full, set_trace_enabled, span, take_thread_trace, trace_enabled,
     validate_chrome_trace, with_span, write_chrome_trace, SpanEvent, SpanGuard, ThreadTrace,
-    TraceSummary,
+    TraceSummary, COMM_TRACK_TID,
 };

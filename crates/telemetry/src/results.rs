@@ -15,17 +15,31 @@ pub struct BenchRecord {
     pub samples_s: Vec<f64>,
     /// Extra scalar fields carried verbatim into the JSON (`"extra"` object).
     pub extra: Vec<(String, f64)>,
+    /// Optional median-of-distribution percentile (seconds), e.g. from a
+    /// [`crate::Histogram`]. Carried through the JSON; the perf gate ignores
+    /// it for pass/fail (medians of `samples_s` stay authoritative).
+    pub p50_s: Option<f64>,
+    /// Optional tail percentile (seconds); informational, never gated.
+    pub p95_s: Option<f64>,
 }
 
 impl BenchRecord {
     /// A record from raw samples.
     pub fn new(name: impl Into<String>, samples_s: Vec<f64>) -> Self {
-        Self { name: name.into(), samples_s, extra: Vec::new() }
+        Self { name: name.into(), samples_s, extra: Vec::new(), p50_s: None, p95_s: None }
     }
 
     /// Adds a named scalar to the `"extra"` block (builder-style).
     pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> Self {
         self.extra.push((key.into(), value));
+        self
+    }
+
+    /// Attaches distribution percentiles (builder-style). These ride along in
+    /// the JSON for dashboards and the doctor; the gate never compares them.
+    pub fn with_percentiles(mut self, p50_s: f64, p95_s: f64) -> Self {
+        self.p50_s = Some(p50_s);
+        self.p95_s = Some(p95_s);
         self
     }
 
@@ -110,6 +124,12 @@ impl BenchSuite {
                         )
                         .set("median_s", r.median_s())
                         .set("min_s", r.min_s());
+                    if let Some(p) = r.p50_s {
+                        obj = obj.set("p50_s", p);
+                    }
+                    if let Some(p) = r.p95_s {
+                        obj = obj.set("p95_s", p);
+                    }
                     if !r.extra.is_empty() {
                         let mut extra = Json::obj();
                         for (k, v) in &r.extra {
@@ -153,6 +173,8 @@ impl BenchSuite {
                 .map(|s| s.as_f64().ok_or("non-numeric sample"))
                 .collect::<Result<Vec<f64>, _>>()?;
             let mut rec = BenchRecord::new(name, samples);
+            rec.p50_s = r.get("p50_s").and_then(Json::as_f64);
+            rec.p95_s = r.get("p95_s").and_then(Json::as_f64);
             if let Some(Json::Obj(extra)) = r.get("extra") {
                 for (k, v) in extra {
                     if let Some(x) = v.as_f64() {
@@ -298,6 +320,29 @@ mod tests {
         let back = BenchSuite::from_json_str(&text).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.record("interp_32").unwrap().extra, vec![("grid".to_string(), 32.0)]);
+    }
+
+    #[test]
+    fn percentiles_roundtrip_and_never_gate() {
+        let mut s = suite(1.0);
+        s.push(
+            BenchRecord::new("newton_32", vec![5.0, 5.1, 4.9]).with_percentiles(5.0, 5.1),
+        );
+        let back = BenchSuite::from_json_str(&s.to_json().to_string()).unwrap();
+        assert_eq!(back, s);
+        let r = back.record("newton_32").unwrap();
+        assert_eq!((r.p50_s, r.p95_s), (Some(5.0), Some(5.1)));
+        // Records without percentiles stay None after the round trip.
+        assert_eq!(back.record("fft_32").unwrap().p50_s, None);
+        // A wildly worse tail percentile alone must not fail the gate.
+        let mut cur = s.clone();
+        for r in &mut cur.records {
+            if let Some(p) = r.p95_s.as_mut() {
+                *p *= 100.0;
+            }
+        }
+        let rep = compare_suites(&s, &cur, 0.25);
+        assert!(!rep.failed(), "{}", rep.render());
     }
 
     #[test]

@@ -13,14 +13,16 @@
 //!   and the harness maps trace → `pid = rank` at export time, producing a
 //!   Chrome/Perfetto trace with one process per rank and one thread track
 //!   per OS thread.
-//! * **Monotonic shared clock.** Timestamps are nanoseconds since a
-//!   process-wide `Instant` epoch, so spans from different ranks align on
-//!   one timeline.
+//! * **Monotonic shared clock.** Timestamps are nanoseconds on
+//!   [`diffreg_comm::monotonic_ns`] — the same process-wide epoch the comm
+//!   event recorder uses — so spans and comm events from different ranks
+//!   align on one timeline.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+
+use diffreg_comm::monotonic_ns;
 
 use crate::json::Json;
 
@@ -58,11 +60,6 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static ENABLED_INIT: OnceLock<()> = OnceLock::new();
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
-fn trace_epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
-}
-
 fn trace_cap() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
@@ -81,9 +78,9 @@ fn init_from_env() {
             !v.is_empty() && v != "0"
         });
         ENABLED.store(on, Ordering::Relaxed);
-        // Pin the epoch while we are single-threaded-ish so early spans
-        // never see a later epoch than the exporter.
-        let _ = trace_epoch();
+        // Pin the shared epoch while we are single-threaded-ish so early
+        // spans never see a later epoch than the exporter.
+        let _ = monotonic_ns();
     });
 }
 
@@ -124,7 +121,7 @@ thread_local! {
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !trace_enabled() {
-        return SpanGuard { name, t0: None, depth: 0 };
+        return SpanGuard { name, t0_ns: None, depth: 0 };
     }
     let depth = BUFFER.with(|b| {
         let mut b = b.borrow_mut();
@@ -132,24 +129,21 @@ pub fn span(name: &'static str) -> SpanGuard {
         b.depth += 1;
         d
     });
-    SpanGuard { name, t0: Some(Instant::now()), depth }
+    SpanGuard { name, t0_ns: Some(monotonic_ns()), depth }
 }
 
 /// RAII guard of one open span (see [`span`]).
 #[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
 pub struct SpanGuard {
     name: &'static str,
-    t0: Option<Instant>,
+    t0_ns: Option<u64>,
     depth: u32,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(t0) = self.t0 else { return };
-        let now = Instant::now();
-        let epoch = trace_epoch();
-        let t0_ns = t0.saturating_duration_since(epoch).as_nanos() as u64;
-        let dur_ns = now.saturating_duration_since(t0).as_nanos() as u64;
+        let Some(t0_ns) = self.t0_ns else { return };
+        let dur_ns = monotonic_ns().saturating_sub(t0_ns);
         BUFFER.with(|b| {
             let mut b = b.borrow_mut();
             b.depth = b.depth.saturating_sub(1);
@@ -190,7 +184,66 @@ pub fn take_thread_trace() -> ThreadTrace {
 /// `tid` per recording thread, complete (`"ph":"X"`) events with
 /// microsecond timestamps.
 pub fn chrome_trace(traces: &[(usize, ThreadTrace)]) -> Json {
+    chrome_trace_full(traces, &[])
+}
+
+/// The `tid` of the dedicated per-rank comm track in exported traces. Comm
+/// events live on their own track so they cannot partially overlap the span
+/// track (they time the *same* wall-clock intervals from a different
+/// vantage point).
+pub const COMM_TRACK_TID: u64 = 1_000_000;
+
+/// Like [`chrome_trace`], but additionally exports per-rank comm event
+/// records (see `diffreg_comm::CommEvent`) as complete events on a dedicated
+/// `comm` track per rank: name `comm.<op>`, category `"comm"`, and the
+/// matching metadata (`peer`, `tag`, `seq`, `bytes`, `epoch`, `comm`,
+/// `csize`, `blocked_us`) in `args`.
+pub fn chrome_trace_full(
+    traces: &[(usize, ThreadTrace)],
+    comm_events: &[(usize, Vec<diffreg_comm::CommEvent>)],
+) -> Json {
     let mut events: Vec<Json> = Vec::new();
+    for (rank, evs) in comm_events {
+        events.push(
+            Json::obj()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", *rank)
+                .set("tid", COMM_TRACK_TID)
+                .set("args", Json::obj().set("name", "comm")),
+        );
+        for e in evs {
+            let mut args = Json::obj()
+                .set("comm", e.comm)
+                .set("csize", e.csize)
+                .set("lrank", e.rank)
+                .set("bytes", e.bytes)
+                .set("blocked_us", e.blocked_ns as f64 / 1e3);
+            if let Some(p) = e.peer {
+                args = args.set("peer", p);
+            }
+            if let Some(t) = e.tag {
+                args = args.set("tag", t);
+            }
+            if let Some(s) = e.seq {
+                args = args.set("seq", s);
+            }
+            if let Some(ep) = e.epoch {
+                args = args.set("epoch", ep);
+            }
+            events.push(
+                Json::obj()
+                    .set("name", format!("comm.{}", e.op.name()))
+                    .set("cat", "comm")
+                    .set("ph", "X")
+                    .set("pid", *rank)
+                    .set("tid", COMM_TRACK_TID)
+                    .set("ts", e.t0_ns as f64 / 1e3)
+                    .set("dur", e.t1_ns.saturating_sub(e.t0_ns) as f64 / 1e3)
+                    .set("args", args),
+            );
+        }
+    }
     for (rank, trace) in traces {
         // Process metadata so the Perfetto sidebar names tracks by rank.
         events.push(
@@ -244,13 +297,19 @@ pub struct TraceSummary {
     pub events: usize,
     /// Distinct span names seen.
     pub names: Vec<String>,
+    /// Complete events on `comm` tracks (category `"comm"`).
+    pub comm_events: usize,
 }
 
 /// Parses a Chrome trace JSON document and checks its structural invariants:
 /// every `X` event carries numeric `pid`/`tid`/`ts`/`dur`, and within each
 /// `(pid, tid)` track the spans *nest* — any two either do not overlap or
-/// one contains the other (no partial overlap). Returns a summary or a
-/// description of the first violation.
+/// one contains the other (no partial overlap). Events in the `"comm"`
+/// category must additionally carry the comm-event metadata exported by
+/// [`chrome_trace_full`]: a numeric `args.csize`, and — for p2p events — an
+/// `args.peer` rank *inside* the communicator (`peer < csize`); a p2p event
+/// whose matched-peer rank is out of range is rejected. Returns a summary or
+/// a description of the first violation.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let doc = Json::parse(text)?;
     let events = doc
@@ -282,6 +341,27 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
             .and_then(Json::as_str)
             .ok_or(format!("event {i}: missing name"))?
             .to_string();
+        if e.get("cat").and_then(Json::as_str) == Some("comm") {
+            let args = e.get("args").ok_or(format!("event {i}: comm event missing args"))?;
+            let csize = args
+                .get("csize")
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: comm event missing numeric args.csize"))?
+                as usize;
+            if csize == 0 {
+                return Err(format!("event {i}: comm event has zero args.csize"));
+            }
+            if let Some(peer) = args.get("peer").and_then(Json::as_f64) {
+                let peer = peer as usize;
+                if peer >= csize {
+                    return Err(format!(
+                        "event {i} ('{name}'): p2p comm event peer rank {peer} out of range \
+                         for communicator size {csize}"
+                    ));
+                }
+            }
+            summary.comm_events += 1;
+        }
         if !summary.pids.contains(&(pid as usize)) {
             summary.pids.push(pid as usize);
         }
@@ -321,12 +401,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     Ok(summary)
 }
 
+/// Serializes tests (across this crate's modules) that flip the
+/// process-global trace flag.
+#[cfg(test)]
+pub(crate) static TEST_TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // Tests share one process-global tracer; serialize them.
-    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use super::TEST_TRACE_LOCK as LOCK;
 
     #[test]
     fn disabled_span_records_nothing() {

@@ -1,0 +1,199 @@
+//! Property tests for the hand-rolled JSON layer: random values round-trip
+//! through serialize → parse bit-exactly, and the string escaper agrees with
+//! the parser on every code point class (control chars, quotes, surrogate
+//! pairs re-assembled from `\uXXXX` escapes, astral-plane literals).
+//!
+//! Equality is checked with a *bit-exact* comparator rather than `PartialEq`:
+//! `-0.0 == 0.0` under IEEE comparison, so plain equality would hide the
+//! negative-zero sign loss the serializer specifically guards against.
+
+use diffreg_telemetry::Json;
+use diffreg_testkit::{prop_check, Rng};
+
+/// Bit-exact structural equality: numbers compare by `to_bits()` so that
+/// `-0.0` and `0.0` are distinct (NaN never appears — the generator only
+/// produces finite values, and the serializer maps non-finite to `null`).
+fn bit_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Null, Json::Null) => true,
+        (Json::Bool(x), Json::Bool(y)) => x == y,
+        (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+        (Json::Str(x), Json::Str(y)) => x == y,
+        (Json::Arr(x), Json::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(i, j)| bit_eq(i, j))
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bit_eq(va, vb))
+        }
+        _ => false,
+    }
+}
+
+/// A random string mixing the character classes the escaper must handle:
+/// plain ASCII, quotes/backslashes, control characters, and non-ASCII
+/// (including astral-plane) scalars.
+fn gen_string(rng: &mut Rng, max_len: usize) -> String {
+    let n = rng.len_scaled(0, max_len);
+    let mut s = String::new();
+    for _ in 0..n {
+        match rng.index(6) {
+            0 => s.push(rng.int_in(b'a' as i64, b'z' as i64) as u8 as char),
+            1 => s.push(['"', '\\', '/'][rng.index(3)]),
+            2 => s.push(['\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '\u{1f}'][rng.index(7)]),
+            3 => s.push(['é', 'π', 'Ω', '中'][rng.index(4)]),
+            // Astral plane: serialized as raw UTF-8, but also exercised via
+            // explicit surrogate-pair escapes in `surrogate_pair_escapes`.
+            4 => s.push(['\u{1F600}', '\u{10000}', '\u{10FFFF}'][rng.index(3)]),
+            _ => s.push(' '),
+        }
+    }
+    s
+}
+
+/// A random finite number hitting the edge cases: negative zero, integral
+/// values (which take the no-fraction fast path), huge/tiny exponents, and
+/// ordinary dyadic fractions (exactly representable, so `{x}` formatting
+/// round-trips them bit-exactly).
+fn gen_number(rng: &mut Rng) -> f64 {
+    match rng.index(6) {
+        0 => -0.0,
+        1 => 0.0,
+        2 => rng.int_in(-1_000_000, 1_000_000) as f64,
+        3 => {
+            // Dyadic fraction: mantissa / 2^k is exact in binary64 and Rust's
+            // shortest-round-trip `{}` formatting restores the exact bits.
+            let k = rng.int_in(1, 40) as i32;
+            rng.int_in(-(1 << 20), 1 << 20) as f64 / f64::powi(2.0, k)
+        }
+        4 => {
+            // Wide exponent range, still exact powers of two.
+            let e = rng.int_in(-300, 300) as i32;
+            let sign = if rng.chance(0.5) { -1.0 } else { 1.0 };
+            sign * f64::powi(2.0, e)
+        }
+        _ => rng.uniform(-1e6, 1e6),
+    }
+}
+
+/// A random JSON value tree of bounded depth.
+fn gen_value(rng: &mut Rng, depth: usize) -> Json {
+    let leaf = depth == 0 || rng.chance(0.4);
+    if leaf {
+        match rng.index(4) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.chance(0.5)),
+            2 => Json::Num(gen_number(rng)),
+            _ => Json::Str(gen_string(rng, 12)),
+        }
+    } else if rng.chance(0.5) {
+        let n = rng.len_scaled(0, 5);
+        Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+    } else {
+        let n = rng.len_scaled(0, 5);
+        let mut obj = Json::obj();
+        for _ in 0..n {
+            obj = obj.set(&gen_string(rng, 6), gen_value(rng, depth - 1));
+        }
+        obj
+    }
+}
+
+#[test]
+fn random_values_roundtrip_bit_exactly() {
+    prop_check!(cases = 128, |rng| {
+        let v = gen_value(rng, 4);
+        let text = v.to_string();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("parse failed on {text:?}: {e}"));
+        assert!(bit_eq(&v, &back), "round-trip changed value:\n  in:  {v}\n  out: {back}");
+        // Serialization is a fixed point: parse(serialize(v)) serializes to
+        // the same bytes (keys already sorted, numbers canonical).
+        assert_eq!(text, back.to_string());
+    });
+}
+
+#[test]
+fn random_strings_roundtrip() {
+    prop_check!(cases = 256, |rng| {
+        let s = gen_string(rng, 64);
+        let v = Json::Str(s.clone());
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back, Json::Str(s));
+    });
+}
+
+#[test]
+fn surrogate_pair_escapes_reassemble() {
+    prop_check!(cases = 128, |rng| {
+        // Pick a random supplementary-plane scalar and encode it the hard
+        // way: as an escaped UTF-16 surrogate pair. The parser must hand
+        // back the combined scalar.
+        let cp = loop {
+            let c = rng.int_in(0x1_0000, 0x10_FFFF) as u32;
+            if let Some(ch) = char::from_u32(c) {
+                break ch;
+            }
+        };
+        let v = cp as u32 - 0x1_0000;
+        let hi = 0xD800 + (v >> 10);
+        let lo = 0xDC00 + (v & 0x3FF);
+        let text = format!("\"\\u{hi:04x}\\u{lo:04x}\"");
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed, Json::Str(cp.to_string()));
+    });
+}
+
+#[test]
+fn lone_surrogate_escapes_always_rejected() {
+    prop_check!(cases = 128, |rng| {
+        if rng.chance(0.5) {
+            // Bare low surrogate.
+            let lo = rng.int_in(0xDC00, 0xDFFF);
+            assert!(Json::parse(&format!("\"\\u{lo:04x}\"")).is_err());
+        } else {
+            // High surrogate followed by something that is not a low one.
+            let hi = rng.int_in(0xD800, 0xDBFF);
+            let tail = match rng.index(3) {
+                0 => String::new(),                      // end of string
+                1 => "x".to_string(),                    // literal char
+                _ => format!("\\u{:04x}", rng.int_in(0x20, 0xD7FF)), // BMP escape
+            };
+            assert!(
+                Json::parse(&format!("\"\\u{hi:04x}{tail}\"")).is_err(),
+                "accepted unpaired \\u{hi:04x} + {tail:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn number_edge_cases_roundtrip() {
+    prop_check!(cases = 256, |rng| {
+        let x = gen_number(rng);
+        let text = Json::Num(x).to_string();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        let y = back.as_f64().unwrap();
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "number {x:?} -> {text:?} -> {y:?} lost bits"
+        );
+    });
+}
+
+#[test]
+fn random_deep_nesting_respects_limit() {
+    prop_check!(cases = 32, |rng| {
+        let depth = rng.len_scaled(1, 700);
+        let text = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let res = Json::parse(&text);
+        if depth <= 512 {
+            assert!(res.is_ok(), "depth {depth} should parse: {res:?}");
+        } else {
+            let err = res.unwrap_err();
+            assert!(err.contains("nesting"), "depth {depth}: {err}");
+        }
+    });
+}

@@ -1,0 +1,35 @@
+//! Golden-fixture tests for the Chrome trace validator's comm-event rules:
+//! a well-formed trace with comm metadata validates (and the comm events are
+//! counted in the summary), while a p2p comm event whose matched-peer rank
+//! falls outside its communicator is rejected with a pointed error.
+
+use diffreg_telemetry::validate_chrome_trace;
+
+const GOOD: &str = include_str!("fixtures/comm_trace_good.json");
+const BAD_PEER: &str = include_str!("fixtures/comm_trace_bad_peer.json");
+
+#[test]
+fn good_fixture_validates_and_counts_comm_events() {
+    let summary = validate_chrome_trace(GOOD).expect("good fixture must validate");
+    assert_eq!(summary.comm_events, 3, "send + recv + barrier on the comm tracks");
+    assert_eq!(summary.pids, vec![0, 1]);
+    // Span events still counted alongside comm events.
+    assert!(summary.names.iter().any(|n| n == "fft.transpose"), "{:?}", summary.names);
+    assert!(summary.names.iter().any(|n| n == "comm.send"), "{:?}", summary.names);
+}
+
+#[test]
+fn out_of_range_peer_is_rejected() {
+    let err = validate_chrome_trace(BAD_PEER).expect_err("peer 4 of csize 4 must be rejected");
+    assert!(err.contains("peer rank 4"), "{err}");
+    assert!(err.contains("communicator size 4"), "{err}");
+    assert!(err.contains("comm.send"), "{err}");
+}
+
+#[test]
+fn missing_csize_is_rejected() {
+    // Strip csize out of the bad fixture's args to hit the metadata check.
+    let stripped = BAD_PEER.replace("\"csize\":4,", "");
+    let err = validate_chrome_trace(&stripped).expect_err("comm event without csize");
+    assert!(err.contains("csize"), "{err}");
+}
