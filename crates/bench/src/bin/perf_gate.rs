@@ -13,9 +13,18 @@
 //!   two suites were measured on different hosts the comparison is printed
 //!   but advisory (exit 0) unless `--strict-host` is given — medians are
 //!   only meaningful same-host.
+//! * `perf_gate speedup <current.json>` — the PR-6 kernel-overhaul gate:
+//!   require the r2c spectral path and SoA interpolation to hold a ≥2×
+//!   median improvement on `fft3d/gradient/32` and
+//!   `interpolation/Tricubic/32` against the frozen pre-overhaul seed
+//!   medians (measured on host `vm` before the half-spectrum/SoA rewrite;
+//!   `BENCH_kernels.json` is rebased to the fast path, so the slow-path
+//!   reference lives here as constants). Advisory on other hosts.
 //! * `perf_gate selftest` — deterministic in-memory check (no timing) that
 //!   the gate logic passes identical suites, fails a 30% slowdown at the
-//!   25% threshold, never fails on speedups, and flags missing records.
+//!   25% threshold, never fails on speedups, flags missing records, and
+//!   that the speedup gate passes/fails/flags-missing correctly for the
+//!   r2c/SoA records.
 //!
 //! Used by `scripts/perf_gate.sh`; the checked-in baseline lives at
 //! `BENCH_kernels.json`.
@@ -115,6 +124,91 @@ fn check(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Pre-overhaul seed medians (host `vm`, c2c spectral path + scalar
+/// tricubic kernel) for the records the PR-6 kernel overhaul targets.
+/// Frozen here because `--rebase` overwrites `BENCH_kernels.json` with the
+/// fast-path numbers — the regular `check` gate then guards against
+/// regressions from the *new* level, while this table pins the original
+/// ≥2× claim itself.
+const SEED_HOST: &str = "vm";
+const SEED_MEDIANS: &[(&str, f64)] = &[
+    ("fft3d/gradient/32", 0.010658656),
+    ("interpolation/Tricubic/32", 0.002579731),
+];
+
+/// Default speedup factor the fast paths must hold over the seed medians.
+const SPEEDUP_FACTOR: f64 = 2.0;
+
+/// Core speedup-gate logic, separated from I/O so `selftest` can exercise
+/// it on synthetic suites. Returns one line per table entry plus a list of
+/// failure messages (empty = gate passes).
+fn speedup_report(
+    suite: &BenchSuite,
+    table: &[(&str, f64)],
+    factor: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for &(name, seed_median) in table {
+        match suite.record(name) {
+            Some(r) => {
+                let m = r.median_s();
+                let speedup = if m > 0.0 { seed_median / m } else { f64::INFINITY };
+                let ok = m * factor <= seed_median;
+                lines.push(format!(
+                    "  {} {name}: {m:.6}s vs seed {seed_median:.6}s  ({speedup:.2}x, need {factor:.2}x)",
+                    if ok { "OK  " } else { "SLOW" },
+                ));
+                if !ok {
+                    failures.push(format!(
+                        "{name}: {speedup:.2}x vs seed median, below the required {factor:.2}x"
+                    ));
+                }
+            }
+            None => {
+                lines.push(format!("  MISS {name}: record absent from suite"));
+                failures.push(format!("{name}: record missing from current suite"));
+            }
+        }
+    }
+    (lines, failures)
+}
+
+fn speedup(args: &[String]) -> ExitCode {
+    let Some(current_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: perf_gate speedup <current.json> [--factor 2.0]");
+        return ExitCode::from(2);
+    };
+    let factor = arg_f64(args, "--factor", SPEEDUP_FACTOR);
+    let current = match load(current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[perf_gate] {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (lines, failures) = speedup_report(&current, SEED_MEDIANS, factor);
+    println!("[perf_gate] kernel-overhaul speedup gate (seed host: {SEED_HOST}):");
+    for l in &lines {
+        println!("{l}");
+    }
+    if failures.is_empty() {
+        println!("[perf_gate] speedup gate PASS ({factor:.2}x held on all records)");
+        return ExitCode::SUCCESS;
+    }
+    if current.host != SEED_HOST {
+        println!(
+            "[perf_gate] host {} != seed host {SEED_HOST}: speedup result is advisory, not failing the build",
+            current.host
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("[perf_gate] speedup gate FAIL: {f}");
+    }
+    ExitCode::FAILURE
+}
+
 /// Deterministic gate-logic check: no clocks, pure arithmetic.
 fn selftest() -> ExitCode {
     fn suite(scale: f64) -> BenchSuite {
@@ -122,7 +216,11 @@ fn selftest() -> ExitCode {
         s.host = "selftest".into();
         for (name, base) in [
             ("fft3d/forward/32", 1.0e-3),
-            ("interpolation/Tricubic/32", 4.0e-3),
+            ("fft3d/forward_r2c/32", 6.0e-4),
+            ("fft3d/gradient/32", 4.5e-3),
+            ("fft3d/gradient_c2c/32", 9.0e-3),
+            ("interpolation/Tricubic/32", 1.0e-3),
+            ("interpolation/Tricubic_scalar/32", 2.6e-3),
             ("solver/hessian_matvec/16", 2.0e-2),
         ] {
             s.push(BenchRecord::new(
@@ -185,6 +283,24 @@ fn selftest() -> ExitCode {
         failures.push("percentile fields are informational and must not gate");
     }
 
+    // Speedup gate (the r2c/SoA records): the synthetic fast suite holds
+    // >2x on both gated records, a 3x-slower scaling drops below 2x and
+    // must fail on both, and a suite missing a gated record must fail.
+    let (_, fast_fail) = speedup_report(&suite(1.0), SEED_MEDIANS, SPEEDUP_FACTOR);
+    if !fast_fail.is_empty() {
+        failures.push("fast r2c/SoA suite must pass the 2x speedup gate");
+    }
+    let (_, slow_fail) = speedup_report(&suite(3.0), SEED_MEDIANS, SPEEDUP_FACTOR);
+    if slow_fail.len() != SEED_MEDIANS.len() {
+        failures.push("a 3x slowdown must fail the speedup gate on every gated record");
+    }
+    let mut no_gated = suite(1.0);
+    no_gated.records.retain(|r| r.name != "fft3d/gradient/32");
+    let (_, miss_fail) = speedup_report(&no_gated, SEED_MEDIANS, SPEEDUP_FACTOR);
+    if !miss_fail.iter().any(|f| f.contains("missing")) {
+        failures.push("a missing gated record must fail the speedup gate");
+    }
+
     print!("{}", slow.render());
     if failures.is_empty() {
         println!("[perf_gate] selftest PASS (30% synthetic slowdown trips the 25% gate)");
@@ -202,11 +318,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("emit") => emit(&args),
         Some("check") => check(&args),
+        Some("speedup") => speedup(&args),
         Some("selftest") => selftest(),
         _ => {
-            eprintln!("usage: perf_gate <emit|check|selftest> [options]");
+            eprintln!("usage: perf_gate <emit|check|speedup|selftest> [options]");
             eprintln!("  emit  --out results/kernels.json [--warmup N] [--samples K] [--sizes 32] [--inflate X]");
             eprintln!("  check <baseline.json> <current.json> [--threshold 0.25] [--strict-host]");
+            eprintln!("  speedup <current.json> [--factor 2.0]");
             eprintln!("  selftest");
             ExitCode::from(2)
         }

@@ -19,6 +19,7 @@ mod factor;
 mod mixed;
 mod nd;
 mod plan;
+mod real;
 
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
@@ -27,6 +28,9 @@ pub use factor::{factorize, is_smooth, next_pow2, MAX_RADIX};
 pub use mixed::MixedRadixPlan;
 pub use nd::{transform_lines, transform_strided, Direction, Fft3d};
 pub use plan::Fft1d;
+pub use real::{
+    half_len, pack_half_spectrum, unpack_half_spectrum, RealFft1d, RealFft3d, RealScratch,
+};
 
 /// Estimated floating-point operation count of one complex FFT of length `n`
 /// (the standard `5 n log2 n` model used in the paper's complexity analysis).

@@ -10,6 +10,7 @@
 
 use diffreg_comm::Comm;
 
+use crate::arena::{arena_f64, PooledVec};
 use crate::field::ScalarField;
 use crate::layout::{Decomp, Layout};
 
@@ -28,7 +29,9 @@ pub struct GhostField {
     ext: [usize; 3],
     /// Global extent of axis 2 (fully local; periodic wrap is index math).
     n2: usize,
-    data: Vec<f64>,
+    /// Arena-backed so the per-step exchanges of the semi-Lagrangian loops
+    /// recycle one allocation per capacity class.
+    data: PooledVec<f64>,
 }
 
 impl GhostField {
@@ -109,7 +112,7 @@ pub fn exchange_ghost<C: Comm>(comm: &C, decomp: &Decomp, field: &ScalarField, g
         (below, above)
     };
     let e0 = c0 + 2 * g;
-    let mut phase1 = vec![0.0; e0 * c1 * n2];
+    let mut phase1 = arena_f64(e0 * c1 * n2);
     let plane = c1 * n2;
     phase1[..g * plane].copy_from_slice(&ghost_below);
     phase1[g * plane..(g + c0) * plane].copy_from_slice(field.data());
@@ -129,7 +132,7 @@ pub fn exchange_ghost<C: Comm>(comm: &C, decomp: &Decomp, field: &ScalarField, g
         (l, r)
     };
     let e1 = c1 + 2 * g;
-    let mut data = vec![0.0; e0 * e1 * n2];
+    let mut data = arena_f64(e0 * e1 * n2);
     for i0 in 0..e0 {
         let dst = i0 * e1 * n2;
         data[dst..dst + g * n2].copy_from_slice(&ghost_left[i0 * g * n2..(i0 + 1) * g * n2]);

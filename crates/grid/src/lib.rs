@@ -13,10 +13,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod field;
 mod ghost;
 mod layout;
+mod precision;
 
+pub use arena::{
+    arena_f64, take_pooled, BufferPool, PooledVec, ARENA_HIT_COUNTER, ARENA_MISS_COUNTER,
+    F64_ARENA,
+};
 pub use field::{spatial_block, ScalarField, VectorField};
 pub use ghost::{exchange_ghost, GhostField};
 pub use layout::{slab, slab_of, Block, Decomp, Grid, Layout};
+pub use precision::Precision;

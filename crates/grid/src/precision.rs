@@ -1,0 +1,89 @@
+//! Compute-precision policy for bulk reductions.
+//!
+//! The CLAIRE GPU line (Brunn et al. 2020) gets much of its speedup from
+//! single-precision compute; the price is that naive f32 *accumulation*
+//! over millions of grid points loses digits linearly in N. The policy
+//! here is the standard mixed-precision compromise: per-point products may
+//! be formed in f32, but every running sum accumulates in f64, keeping the
+//! reduction error at the f32-rounding level (~1e-7 relative) independent
+//! of grid size. Inner products, norms, the regularization energy, and
+//! the objective all flow through this policy; spectral transforms and the
+//! transport stencils stay in f64.
+
+/// Floating-point policy for inner products and reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Everything in f64 (the differential-testing reference).
+    #[default]
+    F64,
+    /// Per-point products rounded through f32; accumulation stays f64.
+    F32,
+}
+
+impl Precision {
+    /// Reads `DIFFREG_PRECISION` (`f32` or `f64`, default `f64`).
+    pub fn from_env() -> Self {
+        match std::env::var("DIFFREG_PRECISION").as_deref() {
+            Ok("f32") | Ok("F32") => Precision::F32,
+            _ => Precision::F64,
+        }
+    }
+
+    /// Short label for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Dot product of two equal-length slices under this policy.
+    pub fn dot(self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        match self {
+            Precision::F64 => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Precision::F32 => {
+                a.iter().zip(b).map(|(x, y)| (*x as f32 * *y as f32) as f64).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_dot_is_exact_reference() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.07).cos()).collect();
+        let expect: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(Precision::F64.dot(&a, &b), expect);
+    }
+
+    #[test]
+    fn f32_dot_accumulates_in_f64() {
+        // 10^7 ones: a pure-f32 accumulator saturates near 1.6e7 (ULP of
+        // the running sum exceeds 1); f64 accumulation stays exact.
+        let n = 10_000_000;
+        let a = vec![1.0f64; n];
+        let d = Precision::F32.dot(&a, &a);
+        assert_eq!(d, n as f64, "f64 accumulation must not saturate");
+    }
+
+    #[test]
+    fn f32_dot_rounds_products_through_f32() {
+        let a = vec![1.0 + 1e-12];
+        let b = vec![1.0];
+        // The product is not representable in f32, so the policies differ.
+        assert_eq!(Precision::F32.dot(&a, &b), 1.0);
+        assert!(Precision::F64.dot(&a, &b) > 1.0);
+    }
+
+    #[test]
+    fn env_parse() {
+        // No env mutation here (tests run in parallel); just the default.
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F32.label(), "f32");
+    }
+}

@@ -10,6 +10,8 @@
 
 mod kernel;
 mod scatter;
+mod soa;
 
 pub use kernel::{base_and_frac, cubic_weights, tricubic, trilinear, Kernel, GHOST_WIDTH};
 pub use scatter::{ghosted, ScatterPlan};
+pub use soa::{InterpMode, SoaStencils};

@@ -10,9 +10,10 @@
 //! results back, which the requester scatters into original point order.
 
 use diffreg_comm::{Comm, Timers};
-use diffreg_grid::{exchange_ghost, Decomp, GhostField, Grid, ScalarField};
+use diffreg_grid::{exchange_ghost, Decomp, GhostField, Grid, Layout, ScalarField};
 
 use crate::kernel::{base_and_frac, Kernel, GHOST_WIDTH};
+use crate::soa::{InterpMode, SoaStencils};
 
 /// A built communication plan for one set of departure points.
 #[derive(Debug, Clone)]
@@ -26,15 +27,33 @@ pub struct ScatterPlan {
     slot_of: Vec<usize>,
     /// Points this rank must interpolate, grouped by requesting rank.
     assigned: Vec<Vec<[f64; 3]>>,
+    /// Start of each assigned batch within the flattened SoA stencils.
+    batch_off: Vec<usize>,
+    /// Precomputed branch-free stencils over the flattened assigned points.
+    soa: SoaStencils,
+    /// Which tricubic loop `interpolate*` routes through.
+    mode: InterpMode,
 }
 
 impl ScatterPlan {
-    /// Builds the plan (collective): routes `points` (physical coordinates,
-    /// any values — they are wrapped periodically) to their owner ranks.
+    /// Builds the plan (collective) on the evaluation mode selected by
+    /// `DIFFREG_INTERP`: routes `points` (physical coordinates, any values
+    /// — they are wrapped periodically) to their owner ranks.
     pub fn build<C: Comm>(
         comm: &C,
         decomp: &Decomp,
         points: &[[f64; 3]],
+        timers: &Timers,
+    ) -> Self {
+        Self::build_with_mode(comm, decomp, points, InterpMode::from_env(), timers)
+    }
+
+    /// Builds the plan (collective) with an explicit evaluation mode.
+    pub fn build_with_mode<C: Comm>(
+        comm: &C,
+        decomp: &Decomp,
+        points: &[[f64; 3]],
+        mode: InterpMode,
         timers: &Timers,
     ) -> Self {
         let _span = diffreg_telemetry::span("interp.plan");
@@ -63,7 +82,29 @@ impl ScatterPlan {
             "diffreg_interp_scatter_bytes",
             std::mem::size_of_val(points) as f64,
         );
-        Self { grid, n_local: points.len(), owner_of, slot_of, assigned }
+        // Hoist the per-point stencil math out of the evaluation loops: the
+        // plan is reused across every field and time step of a transport
+        // solve, so the precompute amortizes to nothing.
+        let mut batch_off = Vec::with_capacity(assigned.len() + 1);
+        let mut off = 0;
+        for pts in &assigned {
+            batch_off.push(off);
+            off += pts.len();
+        }
+        batch_off.push(off);
+        let soa = timers.time("interp_exec", || {
+            let block = decomp.block(comm.rank(), Layout::Spatial);
+            let origin = [
+                block.start[0] as isize - GHOST_WIDTH as isize,
+                block.start[1] as isize - GHOST_WIDTH as isize,
+            ];
+            let mut flat = Vec::with_capacity(off);
+            for pts in &assigned {
+                flat.extend_from_slice(pts);
+            }
+            SoaStencils::build(&grid, origin, &flat)
+        });
+        Self { grid, n_local: points.len(), owner_of, slot_of, assigned, batch_off, soa, mode }
     }
 
     /// Number of points this rank requested.
@@ -112,14 +153,25 @@ impl ScatterPlan {
         let nf = ghosts.len();
         assert!(nf > 0, "need at least one field");
         // Owners evaluate; values interleaved per point: [f0, f1, ..] per point.
+        // The SoA fast path only exists for the tricubic kernel; trilinear
+        // stays on the scalar reference loop.
+        let use_soa = self.mode == InterpMode::Soa && kernel == Kernel::Tricubic;
         let values: Vec<Vec<f64>> = timers.time("interp_exec", || {
             self.assigned
                 .iter()
-                .map(|pts| {
-                    let mut vals = Vec::with_capacity(pts.len() * nf);
-                    for &x in pts {
-                        for g in ghosts {
-                            vals.push(kernel.eval(g, &self.grid, x));
+                .enumerate()
+                .map(|(batch, pts)| {
+                    let mut vals = vec![0.0; pts.len() * nf];
+                    if use_soa {
+                        let (lo, hi) = (self.batch_off[batch], self.batch_off[batch + 1]);
+                        for (f, g) in ghosts.iter().enumerate() {
+                            self.soa.eval_strided(g, lo, hi, &mut vals, nf, f);
+                        }
+                    } else {
+                        for (i, &x) in pts.iter().enumerate() {
+                            for (f, g) in ghosts.iter().enumerate() {
+                                vals[i * nf + f] = kernel.eval(g, &self.grid, x);
+                            }
                         }
                     }
                     vals
@@ -286,6 +338,31 @@ mod tests {
         assert!(plan.is_empty());
         let vals = plan.interpolate(&comm, &ghost, Kernel::Tricubic, &timers);
         assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn soa_and_scalar_modes_are_bit_identical() {
+        let grid = Grid::new([12, 8, 6]);
+        let points = test_points(150);
+        run_threaded(4, move |comm| {
+            let d = Decomp::with_process_grid(grid, 2, 2);
+            let b = d.block(comm.rank(), Layout::Spatial);
+            let f1 = ScalarField::from_fn(&grid, b, probe);
+            let f2 = ScalarField::from_fn(&grid, b, probe2);
+            let g1 = ghosted(comm, &d, &f1);
+            let g2 = ghosted(comm, &d, &f2);
+            let timers = Timers::new();
+            let mine: Vec<[f64; 3]> =
+                points.iter().skip(comm.rank()).step_by(comm.size()).copied().collect();
+            let fast = ScatterPlan::build_with_mode(comm, &d, &mine, InterpMode::Soa, &timers);
+            let reference =
+                ScatterPlan::build_with_mode(comm, &d, &mine, InterpMode::Scalar, &timers);
+            for kernel in [Kernel::Tricubic, Kernel::Trilinear] {
+                let a = fast.interpolate_many(comm, &[&g1, &g2], kernel, &timers);
+                let b = reference.interpolate_many(comm, &[&g1, &g2], kernel, &timers);
+                assert_eq!(a, b, "modes diverged for {kernel:?}");
+            }
+        });
     }
 
     #[test]

@@ -13,10 +13,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod half;
 mod plan;
 mod spectral_field;
 mod transpose;
 
-pub use plan::PencilFft;
+pub use half::{half_spectral_block, leray_project_half, HalfSpectralField};
+pub use plan::{PencilFft, SpectralPath};
 pub use spectral_field::{leray_project, SpectralField};
 pub use transpose::{fwd_mid, fwd_spec, inv_mid, inv_spec};

@@ -11,12 +11,41 @@
 //! `"fft_exec"`.
 
 use diffreg_comm::{Comm, Timers};
-use diffreg_fft::{transform_lines, transform_strided, Complex64, Direction, Fft1d};
+use diffreg_fft::{
+    half_len, transform_lines, transform_strided, Complex64, Direction, Fft1d, RealFft1d,
+    RealScratch,
+};
 use diffreg_grid::{Decomp, Grid, Layout, ScalarField, VectorField};
 use diffreg_spectral::RegOrder;
 
+use crate::half::{half_spectral_block, leray_project_half, HalfSpectralField};
 use crate::spectral_field::{leray_project, SpectralField};
 use crate::transpose::{fwd_mid, fwd_spec, inv_mid, inv_spec};
+
+/// Which transform the plan's high-level operators route through.
+///
+/// The c2c path is the differential-testing reference; the r2c path stores
+/// only the Hermitian half-spectrum (axis-2 bins `0..=n2/2`), halving the
+/// 1D-transform flops along axis 2 and the bytes of every alltoallv
+/// transpose. Selected per-plan, or globally via `DIFFREG_SPECTRAL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectralPath {
+    /// Full complex spectrum (reference path).
+    C2C,
+    /// Hermitian half-spectrum (fast path, default).
+    #[default]
+    R2C,
+}
+
+impl SpectralPath {
+    /// Reads `DIFFREG_SPECTRAL` (`c2c` or `r2c`, default `r2c`).
+    pub fn from_env() -> Self {
+        match std::env::var("DIFFREG_SPECTRAL").as_deref() {
+            Ok("c2c") | Ok("C2C") => SpectralPath::C2C,
+            _ => SpectralPath::R2C,
+        }
+    }
+}
 
 /// A per-rank plan for distributed FFTs over a pencil decomposition.
 ///
@@ -28,6 +57,8 @@ pub struct PencilFft<C: Comm> {
     row: C::Sub,
     col: C::Sub,
     plans: [Fft1d; 3],
+    rplan2: RealFft1d,
+    path: SpectralPath,
 }
 
 impl<C: Comm> std::fmt::Debug for PencilFft<C> {
@@ -40,8 +71,14 @@ impl<C: Comm> std::fmt::Debug for PencilFft<C> {
 }
 
 impl<C: Comm> PencilFft<C> {
-    /// Creates a plan (collective). `comm.size()` must equal `decomp.size()`.
+    /// Creates a plan (collective) on the path selected by
+    /// `DIFFREG_SPECTRAL`. `comm.size()` must equal `decomp.size()`.
     pub fn new(comm: &C, decomp: Decomp) -> Self {
+        Self::with_path(comm, decomp, SpectralPath::from_env())
+    }
+
+    /// Creates a plan (collective) with an explicit spectral path.
+    pub fn with_path(comm: &C, decomp: Decomp, path: SpectralPath) -> Self {
         assert_eq!(comm.size(), decomp.size(), "communicator does not match decomposition");
         let rank = comm.rank();
         let (r1, r2) = decomp.coords(rank);
@@ -51,7 +88,20 @@ impl<C: Comm> PencilFft<C> {
         debug_assert_eq!(row.rank(), r2);
         debug_assert_eq!(col.rank(), r1);
         let n = decomp.grid.n;
-        Self { decomp, rank, row, col, plans: [Fft1d::new(n[0]), Fft1d::new(n[1]), Fft1d::new(n[2])] }
+        Self {
+            decomp,
+            rank,
+            row,
+            col,
+            plans: [Fft1d::new(n[0]), Fft1d::new(n[1]), Fft1d::new(n[2])],
+            rplan2: RealFft1d::new(n[2]),
+            path,
+        }
+    }
+
+    /// The spectral path the high-level operators route through.
+    pub fn path(&self) -> SpectralPath {
+        self.path
     }
 
     /// The decomposition this plan works over.
@@ -134,6 +184,84 @@ impl<C: Comm> PencilFft<C> {
         ScalarField::from_vec(sb, data.into_iter().map(|z| z.re).collect())
     }
 
+    /// This rank's half-spectrum block (r2c layout).
+    pub fn half_block(&self) -> diffreg_grid::Block {
+        half_spectral_block(&self.decomp, self.rank)
+    }
+
+    /// Forward distributed r2c FFT into Hermitian half-spectrum
+    /// coefficients: only axis-2 bins `0..=n2/2` are computed, transposed,
+    /// and stored. Same transpose routines as [`Self::forward`], with the
+    /// axis-2 extent replaced by `n2/2 + 1`.
+    pub fn forward_half(&self, field: &ScalarField, timers: &Timers) -> HalfSpectralField {
+        let _span = diffreg_telemetry::span("fft.forward");
+        let sb = self.spatial_block();
+        assert_eq!(field.block(), sb, "field not in this plan's spatial layout");
+        let n = self.decomp.grid.n;
+        let n2h = half_len(n[2]);
+        let [c0, c1, _] = sb.count;
+
+        // Axis 2: r2c lines straight from the real data (no complex
+        // widening pass over the full field).
+        let mut data = vec![Complex64::ZERO; c0 * c1 * n2h];
+        timers.time("fft_exec", || {
+            let mut ws = RealScratch::default();
+            for (line, spec) in field.data().chunks_exact(n[2]).zip(data.chunks_exact_mut(n2h)) {
+                self.rplan2.forward(line, spec, &mut ws);
+            }
+        });
+        // Row transpose: (c0, c1, n2h) -> (c0, n1, c2h).
+        let mut data = timers.time("fft_comm", || fwd_mid(&self.row, &data, c0, n[1], n2h));
+        let c2h = diffreg_grid::slab(n2h, self.row.size(), self.row.rank()).1;
+        timers.time("fft_exec", || {
+            let offs = (0..c0).flat_map(move |i0| (0..c2h).map(move |i2| i0 * n[1] * c2h + i2));
+            transform_strided(&self.plans[1], &mut data, offs, c2h, Direction::Forward);
+        });
+        // Column transpose: (c0, n1, c2h) -> (n0, c1_col, c2h).
+        let mut data = timers.time("fft_comm", || fwd_spec(&self.col, &data, n[0], n[1], c2h));
+        let c1s = diffreg_grid::slab(n[1], self.col.size(), self.col.rank()).1;
+        timers.time("fft_exec", || {
+            let offs = (0..c1s).flat_map(move |i1| (0..c2h).map(move |i2| i1 * c2h + i2));
+            transform_strided(&self.plans[0], &mut data, offs, c1s * c2h, Direction::Forward);
+        });
+        timers.count("fft_3d", 1);
+        HalfSpectralField { grid: self.decomp.grid, block: self.half_block(), data }
+    }
+
+    /// Inverse distributed c2r FFT from half-spectrum coefficients back to
+    /// a real field in the spatial layout.
+    pub fn inverse_half(&self, spec: &HalfSpectralField, timers: &Timers) -> ScalarField {
+        let _span = diffreg_telemetry::span("fft.inverse");
+        assert_eq!(spec.block, self.half_block(), "coefficients not in this plan's half layout");
+        let n = self.decomp.grid.n;
+        let n2h = half_len(n[2]);
+        let c2h = diffreg_grid::slab(n2h, self.row.size(), self.row.rank()).1;
+        let c1s = diffreg_grid::slab(n[1], self.col.size(), self.col.rank()).1;
+        let sb = self.spatial_block();
+        let [c0, c1, _] = sb.count;
+
+        let mut data = spec.data.clone();
+        timers.time("fft_exec", || {
+            let offs = (0..c1s).flat_map(move |i1| (0..c2h).map(move |i2| i1 * c2h + i2));
+            transform_strided(&self.plans[0], &mut data, offs, c1s * c2h, Direction::Inverse);
+        });
+        let mut data = timers.time("fft_comm", || inv_spec(&self.col, &data, n[0], n[1], c2h));
+        timers.time("fft_exec", || {
+            let offs = (0..c0).flat_map(move |i0| (0..c2h).map(move |i2| i0 * n[1] * c2h + i2));
+            transform_strided(&self.plans[1], &mut data, offs, c2h, Direction::Inverse);
+        });
+        let data = timers.time("fft_comm", || inv_mid(&self.row, &data, c0, n[1], n2h));
+        let mut out = vec![0.0; c0 * c1 * n[2]];
+        timers.time("fft_exec", || {
+            let mut ws = RealScratch::default();
+            for (line, spec) in out.chunks_exact_mut(n[2]).zip(data.chunks_exact(n2h)) {
+                self.rplan2.inverse(spec, line, &mut ws);
+            }
+        });
+        timers.count("fft_3d", 1);
+        ScalarField::from_vec(sb, out)
+    }
+
     /// Applies a real diagonal symbol `sym(|k|²)` to a field (2 FFTs).
     pub fn apply_symbol(
         &self,
@@ -141,55 +269,119 @@ impl<C: Comm> PencilFft<C> {
         sym: impl Fn(f64) -> f64,
         timers: &Timers,
     ) -> ScalarField {
-        let mut spec = self.forward(field, timers);
-        spec.apply_symbol(sym);
-        self.inverse(&spec, timers)
+        match self.path {
+            SpectralPath::R2C => {
+                let mut spec = self.forward_half(field, timers);
+                spec.apply_symbol(sym);
+                self.inverse_half(&spec, timers)
+            }
+            SpectralPath::C2C => {
+                let mut spec = self.forward(field, timers);
+                spec.apply_symbol(sym);
+                self.inverse(&spec, timers)
+            }
+        }
     }
 
     /// Partial derivative along `axis` (2 FFTs).
     pub fn derivative(&self, field: &ScalarField, axis: usize, timers: &Timers) -> ScalarField {
-        let mut spec = self.forward(field, timers);
-        spec.differentiate(axis);
-        self.inverse(&spec, timers)
+        match self.path {
+            SpectralPath::R2C => {
+                let mut spec = self.forward_half(field, timers);
+                spec.differentiate(axis);
+                self.inverse_half(&spec, timers)
+            }
+            SpectralPath::C2C => {
+                let mut spec = self.forward(field, timers);
+                spec.differentiate(axis);
+                self.inverse(&spec, timers)
+            }
+        }
     }
 
     /// Gradient `∇f` (1 forward + 3 inverse FFTs).
     pub fn gradient(&self, field: &ScalarField, timers: &Timers) -> VectorField {
-        let spec = self.forward(field, timers);
-        let comps = [0usize, 1, 2].map(|axis| {
-            let mut s = spec.clone();
-            s.differentiate(axis);
-            self.inverse(&s, timers)
-        });
-        VectorField { comps }
+        match self.path {
+            SpectralPath::R2C => {
+                let spec = self.forward_half(field, timers);
+                let comps = [0usize, 1, 2].map(|axis| {
+                    let mut s = spec.clone();
+                    s.differentiate(axis);
+                    self.inverse_half(&s, timers)
+                });
+                VectorField { comps }
+            }
+            SpectralPath::C2C => {
+                let spec = self.forward(field, timers);
+                let comps = [0usize, 1, 2].map(|axis| {
+                    let mut s = spec.clone();
+                    s.differentiate(axis);
+                    self.inverse(&s, timers)
+                });
+                VectorField { comps }
+            }
+        }
     }
 
     /// Divergence `div v` (3 forward + 1 inverse FFTs).
     pub fn divergence(&self, v: &VectorField, timers: &Timers) -> ScalarField {
-        let mut acc = self.forward(&v.comps[0], timers);
-        acc.differentiate(0);
-        for axis in 1..3 {
-            let mut s = self.forward(&v.comps[axis], timers);
-            s.differentiate(axis);
-            acc.axpy(1.0, &s);
+        match self.path {
+            SpectralPath::R2C => {
+                let mut acc = self.forward_half(&v.comps[0], timers);
+                acc.differentiate(0);
+                for axis in 1..3 {
+                    let mut s = self.forward_half(&v.comps[axis], timers);
+                    s.differentiate(axis);
+                    acc.axpy(1.0, &s);
+                }
+                self.inverse_half(&acc, timers)
+            }
+            SpectralPath::C2C => {
+                let mut acc = self.forward(&v.comps[0], timers);
+                acc.differentiate(0);
+                for axis in 1..3 {
+                    let mut s = self.forward(&v.comps[axis], timers);
+                    s.differentiate(axis);
+                    acc.axpy(1.0, &s);
+                }
+                self.inverse(&acc, timers)
+            }
         }
-        self.inverse(&acc, timers)
     }
 
     /// Leray projection of a vector field onto divergence-free fields (6 FFTs).
     pub fn leray(&self, v: &VectorField, timers: &Timers) -> VectorField {
-        let mut spec = [
-            self.forward(&v.comps[0], timers),
-            self.forward(&v.comps[1], timers),
-            self.forward(&v.comps[2], timers),
-        ];
-        leray_project(&mut spec);
-        VectorField {
-            comps: [
-                self.inverse(&spec[0], timers),
-                self.inverse(&spec[1], timers),
-                self.inverse(&spec[2], timers),
-            ],
+        match self.path {
+            SpectralPath::R2C => {
+                let mut spec = [
+                    self.forward_half(&v.comps[0], timers),
+                    self.forward_half(&v.comps[1], timers),
+                    self.forward_half(&v.comps[2], timers),
+                ];
+                leray_project_half(&mut spec);
+                VectorField {
+                    comps: [
+                        self.inverse_half(&spec[0], timers),
+                        self.inverse_half(&spec[1], timers),
+                        self.inverse_half(&spec[2], timers),
+                    ],
+                }
+            }
+            SpectralPath::C2C => {
+                let mut spec = [
+                    self.forward(&v.comps[0], timers),
+                    self.forward(&v.comps[1], timers),
+                    self.forward(&v.comps[2], timers),
+                ];
+                leray_project(&mut spec);
+                VectorField {
+                    comps: [
+                        self.inverse(&spec[0], timers),
+                        self.inverse(&spec[1], timers),
+                        self.inverse(&spec[2], timers),
+                    ],
+                }
+            }
         }
     }
 
@@ -239,9 +431,18 @@ impl<C: Comm> PencilFft<C> {
     /// Spectral translation: returns `f(x - s)` exactly (for band-limited
     /// fields) via the phase factor `exp(-i k·s)` (2 FFTs).
     pub fn translate(&self, field: &ScalarField, s: [f64; 3], timers: &Timers) -> ScalarField {
-        let mut spec = self.forward(field, timers);
-        spec.phase_shift(s);
-        self.inverse(&spec, timers)
+        match self.path {
+            SpectralPath::R2C => {
+                let mut spec = self.forward_half(field, timers);
+                spec.phase_shift(s);
+                self.inverse_half(&spec, timers)
+            }
+            SpectralPath::C2C => {
+                let mut spec = self.forward(field, timers);
+                spec.phase_shift(s);
+                self.inverse(&spec, timers)
+            }
+        }
     }
 }
 

@@ -1,0 +1,145 @@
+//! Oracle-parity tier for the distributed r2c path: the half-spectrum
+//! plan must round-trip to near machine precision and every operator must
+//! match the c2c reference path bin-for-bin on seeded random real fields.
+
+use diffreg_comm::{run_threaded, Timers};
+use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
+use diffreg_pfft::{PencilFft, SpectralPath};
+use diffreg_testkit::{prop_check, Rng};
+
+/// A smooth but symmetry-free scalar field parameterized by a seed.
+fn seeded_scalar(grid: &Grid, block: diffreg_grid::Block, seed: u64) -> ScalarField {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let amps: Vec<f64> = (0..6).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    ScalarField::from_fn(grid, block, move |x| {
+        amps[0] * x[0].sin()
+            + amps[1] * (2.0 * x[1]).cos()
+            + amps[2] * (x[2] + 0.3).sin()
+            + amps[3] * (x[0] + x[1]).cos() * x[2].sin()
+            + amps[4] * (2.0 * x[2] - x[0]).cos()
+            + amps[5]
+    })
+}
+
+fn seeded_vector(grid: &Grid, block: diffreg_grid::Block, seed: u64) -> VectorField {
+    VectorField {
+        comps: [
+            seeded_scalar(grid, block, seed),
+            seeded_scalar(grid, block, seed + 101),
+            seeded_scalar(grid, block, seed + 202),
+        ],
+    }
+}
+
+fn assert_fields_close(a: &ScalarField, b: &ScalarField, tol: f64, what: &str) {
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert!((x - y).abs() < tol, "{what}: {x} vs {y}");
+    }
+}
+
+/// Forward∘inverse on the half-spectrum path is the identity to 1e-12,
+/// including odd extents (full-c2c axis-2 fallback) and prime extents.
+#[test]
+fn r2c_roundtrip_is_identity() {
+    for (n, p1, p2) in [
+        ([8, 8, 8], 2, 2),
+        ([6, 9, 5], 3, 1),
+        ([8, 12, 10], 2, 4),
+        ([7, 6, 17], 1, 2),
+        ([4, 5, 13], 2, 1),
+    ] {
+        let grid = Grid::new(n);
+        run_threaded(p1 * p2, move |comm| {
+            let decomp = Decomp::with_process_grid(grid, p1, p2);
+            let plan = PencilFft::with_path(comm, decomp, SpectralPath::R2C);
+            let field = seeded_scalar(&grid, plan.spatial_block(), 42);
+            let timers = Timers::new();
+            let spec = plan.forward_half(&field, &timers);
+            assert_eq!(spec.data.len(), plan.half_block().len());
+            let back = plan.inverse_half(&spec, &timers);
+            assert_fields_close(&back, &field, 1e-12, "r2c roundtrip");
+        });
+    }
+}
+
+/// Every operator on the r2c path matches the c2c reference path on
+/// seeded random fields, across serial and distributed layouts.
+#[test]
+fn r2c_operators_match_c2c_path() {
+    prop_check!(cases = 8, |rng| {
+        let seed = rng.next_u64() % 10_000;
+        let (n, p1, p2) = match rng.index(4) {
+            0 => ([8, 8, 8], 2, 2),
+            1 => ([6, 9, 5], 3, 1),
+            2 => ([8, 12, 10], 2, 4),
+            _ => ([7, 6, 4], 1, 2),
+        };
+        let grid = Grid::new(n);
+        run_threaded(p1 * p2, move |comm| {
+            let decomp = Decomp::with_process_grid(grid, p1, p2);
+            let fast = PencilFft::with_path(comm, decomp, SpectralPath::R2C);
+            let reference = PencilFft::with_path(comm, decomp, SpectralPath::C2C);
+            assert_eq!(fast.path(), SpectralPath::R2C);
+            assert_eq!(reference.path(), SpectralPath::C2C);
+            let timers = Timers::new();
+            let tol = 1e-10 * grid.total() as f64;
+
+            let f = seeded_scalar(&grid, fast.spatial_block(), seed);
+            let g_fast = fast.gradient(&f, &timers);
+            let g_ref = reference.gradient(&f, &timers);
+            for axis in 0..3 {
+                assert_fields_close(
+                    &g_fast.comps[axis],
+                    &g_ref.comps[axis],
+                    tol,
+                    &format!("gradient axis {axis}"),
+                );
+            }
+
+            let s_fast = fast.gaussian_smooth(&f, 0.5, &timers);
+            let s_ref = reference.gaussian_smooth(&f, 0.5, &timers);
+            assert_fields_close(&s_fast, &s_ref, tol, "gaussian_smooth");
+
+            let t_fast = fast.translate(&f, [0.3, -0.7, 1.1], &timers);
+            let t_ref = reference.translate(&f, [0.3, -0.7, 1.1], &timers);
+            assert_fields_close(&t_fast, &t_ref, tol, "translate");
+
+            let v = seeded_vector(&grid, fast.spatial_block(), seed);
+            let d_fast = fast.divergence(&v, &timers);
+            let d_ref = reference.divergence(&v, &timers);
+            assert_fields_close(&d_fast, &d_ref, tol, "divergence");
+
+            let l_fast = fast.leray(&v, &timers);
+            let l_ref = reference.leray(&v, &timers);
+            for axis in 0..3 {
+                assert_fields_close(
+                    &l_fast.comps[axis],
+                    &l_ref.comps[axis],
+                    tol,
+                    &format!("leray axis {axis}"),
+                );
+            }
+            // The projection must actually be divergence-free.
+            let div = fast.divergence(&l_fast, &timers);
+            assert!(div.max_abs(comm) < tol, "projected divergence");
+        });
+    });
+}
+
+/// The distributed gradient costs one forward + three inverse transforms
+/// on the half-spectrum path — the `fft_3d` counter must read exactly 4.
+#[test]
+fn distributed_gradient_costs_four_transforms() {
+    let grid = Grid::new([8, 8, 8]);
+    run_threaded(4, move |comm| {
+        let decomp = Decomp::with_process_grid(grid, 2, 2);
+        let plan = PencilFft::with_path(comm, decomp, SpectralPath::R2C);
+        let f = seeded_scalar(&grid, plan.spatial_block(), 7);
+        let timers = Timers::new();
+        let _ = plan.gradient(&f, &timers);
+        assert_eq!(timers.get_count("fft_3d"), 4, "gradient must reuse one forward transform");
+        let v = seeded_vector(&grid, plan.spatial_block(), 9);
+        let _ = plan.divergence(&v, &timers);
+        assert_eq!(timers.get_count("fft_3d"), 8, "divergence must use 3 forward + 1 inverse");
+    });
+}

@@ -13,11 +13,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod real;
 mod resample;
 mod serial;
 mod symbols;
 mod wavenumbers;
 
+pub use real::RealSpectral;
 pub use resample::{coarsen_extents, spectral_resample};
 pub use serial::SerialSpectral;
 pub use symbols::{biharmonic, gaussian, inv_biharmonic, inv_laplacian, laplacian, RegOrder};

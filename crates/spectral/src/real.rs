@@ -1,0 +1,281 @@
+//! Serial half-spectrum (r2c) spectral operators — the fast-path mirror of
+//! [`crate::SerialSpectral`].
+//!
+//! All solver fields are real, so their spectra are Hermitian-symmetric and
+//! only bins `k2 = 0..=n2/2` need to be stored or touched. Every Fourier
+//! multiplier the solver uses maps a Hermitian spectrum to a Hermitian
+//! spectrum when applied to the half storage directly: for a real even
+//! symbol `s(k)` the implied conjugate bin receives
+//! `conj(s(k) X[k]) = s(-k) conj(X[k])`, and for the derivative symbol
+//! `i k` the sign flip of the conjugate matches the sign flip of the
+//! mirrored wavenumber. The c2c toolbox stays as the differential-testing
+//! reference; this one does roughly half the flops.
+
+use std::cell::Cell;
+
+use diffreg_fft::{half_len, Complex64, RealFft3d};
+
+use crate::symbols;
+use crate::wavenumbers::{k_squared, wavenumber_deriv};
+
+/// A serial r2c spectral workspace for one grid shape.
+#[derive(Debug, Clone)]
+pub struct RealSpectral {
+    n: [usize; 3],
+    fft: RealFft3d,
+    transforms: Cell<usize>,
+}
+
+impl RealSpectral {
+    /// Creates a workspace for grids of shape `n`.
+    pub fn new(n: [usize; 3]) -> Self {
+        Self { n, fft: RealFft3d::new(n), transforms: Cell::new(0) }
+    }
+
+    /// Real-space grid shape.
+    pub fn shape(&self) -> [usize; 3] {
+        self.n
+    }
+
+    /// Half-spectrum shape `[n0, n1, n2/2 + 1]`.
+    pub fn half_shape(&self) -> [usize; 3] {
+        self.fft.half_shape()
+    }
+
+    /// Total real-space points.
+    pub fn len(&self) -> usize {
+        self.n.iter().product()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of 3D transforms (forward + inverse) executed so far.
+    pub fn transform_count(&self) -> usize {
+        self.transforms.get()
+    }
+
+    /// Resets the transform counter to zero.
+    pub fn reset_transform_count(&self) {
+        self.transforms.set(0);
+    }
+
+    /// Forward r2c FFT of a real field into half-spectrum coefficients.
+    pub fn forward(&self, real: &[f64]) -> Vec<Complex64> {
+        assert_eq!(real.len(), self.len());
+        self.transforms.set(self.transforms.get() + 1);
+        self.fft.forward(real)
+    }
+
+    /// Inverse c2r FFT back to a real field.
+    pub fn inverse(&self, spec: &[Complex64]) -> Vec<f64> {
+        assert_eq!(spec.len(), self.fft.spectrum_len());
+        self.transforms.set(self.transforms.get() + 1);
+        self.fft.inverse(spec)
+    }
+
+    /// Iterates `f(linear_index, [i0,i1,i2])` over the stored half bins
+    /// (`i2` runs over `0..=n2/2` only).
+    fn for_each_half_bin(&self, mut f: impl FnMut(usize, [usize; 3])) {
+        let [n0, n1, n2] = self.n;
+        let n2h = half_len(n2);
+        let mut l = 0;
+        for i0 in 0..n0 {
+            for i1 in 0..n1 {
+                for i2 in 0..n2h {
+                    f(l, [i0, i1, i2]);
+                    l += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies a real diagonal symbol `sym(|k|²)` to a real field.
+    pub fn apply_symbol(&self, field: &[f64], sym: impl Fn(f64) -> f64) -> Vec<f64> {
+        let mut spec = self.forward(field);
+        self.for_each_half_bin(|l, i| {
+            spec[l] = spec[l].scale(sym(k_squared(self.n, i)));
+        });
+        self.inverse(&spec)
+    }
+
+    /// Partial derivative `∂f/∂x_axis` via the spectral symbol `i k_axis`.
+    pub fn derivative(&self, field: &[f64], axis: usize) -> Vec<f64> {
+        assert!(axis < 3);
+        let mut spec = self.forward(field);
+        self.for_each_half_bin(|l, i| {
+            let k = wavenumber_deriv(self.n[axis], i[axis]);
+            let z = spec[l];
+            spec[l] = Complex64::new(-k * z.im, k * z.re); // multiply by i*k
+        });
+        self.inverse(&spec)
+    }
+
+    /// Gradient `∇f`: one shared forward, one inverse per component.
+    pub fn gradient(&self, field: &[f64]) -> [Vec<f64>; 3] {
+        let spec = self.forward(field);
+        let mut out: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (axis, o) in out.iter_mut().enumerate() {
+            let mut s = spec.clone();
+            self.for_each_half_bin(|l, i| {
+                let k = wavenumber_deriv(self.n[axis], i[axis]);
+                let z = s[l];
+                s[l] = Complex64::new(-k * z.im, k * z.re);
+            });
+            *o = self.inverse(&s);
+        }
+        out
+    }
+
+    /// Divergence `div v`: the `i k_a v̂_a` terms are accumulated in
+    /// spectral space so only one inverse transform is needed.
+    pub fn divergence(&self, v: [&[f64]; 3]) -> Vec<f64> {
+        let mut acc = vec![Complex64::ZERO; self.fft.spectrum_len()];
+        for (axis, comp) in v.iter().enumerate() {
+            let s = self.forward(comp);
+            self.for_each_half_bin(|l, i| {
+                let k = wavenumber_deriv(self.n[axis], i[axis]);
+                let z = s[l];
+                acc[l] += Complex64::new(-k * z.im, k * z.re);
+            });
+        }
+        self.inverse(&acc)
+    }
+
+    /// Laplacian `Δf`.
+    pub fn laplacian(&self, field: &[f64]) -> Vec<f64> {
+        self.apply_symbol(field, symbols::laplacian)
+    }
+
+    /// Inverse Laplacian with the mean (zero mode) projected out.
+    pub fn inv_laplacian(&self, field: &[f64]) -> Vec<f64> {
+        self.apply_symbol(field, symbols::inv_laplacian)
+    }
+
+    /// Biharmonic `Δ²f`.
+    pub fn biharmonic(&self, field: &[f64]) -> Vec<f64> {
+        self.apply_symbol(field, symbols::biharmonic)
+    }
+
+    /// Gaussian smoothing with standard deviation `sigma`.
+    pub fn gaussian_smooth(&self, field: &[f64], sigma: f64) -> Vec<f64> {
+        self.apply_symbol(field, |k2| symbols::gaussian(sigma, k2))
+    }
+
+    /// Leray projection `P v = v - ∇Δ⁻¹ div v` onto divergence-free fields.
+    pub fn leray(&self, v: [&[f64]; 3]) -> [Vec<f64>; 3] {
+        let mut spec = [self.forward(v[0]), self.forward(v[1]), self.forward(v[2])];
+        self.for_each_half_bin(|l, i| {
+            let k = [
+                wavenumber_deriv(self.n[0], i[0]),
+                wavenumber_deriv(self.n[1], i[1]),
+                wavenumber_deriv(self.n[2], i[2]),
+            ];
+            let k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+            // diffreg-allow(float-eq): zero-mode projection — k2 is exactly 0.0 only at the k=0 mode
+            if k2 == 0.0 {
+                return;
+            }
+            let kv = (spec[0][l].scale(k[0]) + spec[1][l].scale(k[1]) + spec[2][l].scale(k[2]))
+                .scale(1.0 / k2);
+            for a in 0..3 {
+                spec[a][l] -= kv.scale(k[a]);
+            }
+        });
+        let [s0, s1, s2] = spec;
+        [self.inverse(&s0), self.inverse(&s1), self.inverse(&s2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SerialSpectral;
+    use std::f64::consts::TAU;
+
+    fn grid_eval(n: [usize; 3], f: impl Fn([f64; 3]) -> f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n.iter().product());
+        for i0 in 0..n[0] {
+            for i1 in 0..n[1] {
+                for i2 in 0..n[2] {
+                    let x = [
+                        TAU * i0 as f64 / n[0] as f64,
+                        TAU * i1 as f64 / n[1] as f64,
+                        TAU * i2 as f64 / n[2] as f64,
+                    ];
+                    out.push(f(x));
+                }
+            }
+        }
+        out
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn test_field(n: [usize; 3]) -> Vec<f64> {
+        grid_eval(n, |x| {
+            (x[0] + 2.0 * x[1]).sin() + x[2].cos() * x[0].sin() + 0.3 * (2.0 * x[2]).cos()
+        })
+    }
+
+    #[test]
+    fn r2c_operators_match_c2c_reference() {
+        for n in [[8, 8, 8], [6, 9, 5], [8, 12, 10], [7, 6, 4]] {
+            let r = RealSpectral::new(n);
+            let c = SerialSpectral::new(n);
+            let f = test_field(n);
+
+            let rt = r.inverse(&r.forward(&f));
+            assert!(max_err(&rt, &f) < 1e-12, "roundtrip, n={n:?}");
+
+            for axis in 0..3 {
+                let a = r.derivative(&f, axis);
+                let b = c.derivative(&f, axis);
+                assert!(max_err(&a, &b) < 1e-10, "derivative axis {axis}, n={n:?}");
+            }
+
+            let ga = r.gradient(&f);
+            let gb = c.gradient(&f);
+            for axis in 0..3 {
+                assert!(max_err(&ga[axis], &gb[axis]) < 1e-10, "gradient, n={n:?}");
+            }
+
+            let va = grid_eval(n, |x| x[0].cos() * x[1].sin());
+            let vb = grid_eval(n, |x| x[1].cos() + x[2].sin());
+            let vc = grid_eval(n, |x| (x[0] + x[2]).sin());
+            let da = r.divergence([&va, &vb, &vc]);
+            let db = c.divergence([&va, &vb, &vc]);
+            assert!(max_err(&da, &db) < 1e-10, "divergence, n={n:?}");
+
+            assert!(max_err(&r.laplacian(&f), &c.laplacian(&f)) < 1e-9, "laplacian, n={n:?}");
+            assert!(
+                max_err(&r.gaussian_smooth(&f, 0.7), &c.gaussian_smooth(&f, 0.7)) < 1e-10,
+                "gaussian, n={n:?}"
+            );
+
+            let pa = r.leray([&va, &vb, &vc]);
+            let pb = c.leray([&va, &vb, &vc]);
+            for axis in 0..3 {
+                assert!(max_err(&pa[axis], &pb[axis]) < 1e-10, "leray, n={n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_costs_four_transforms() {
+        let n = [8, 8, 8];
+        let r = RealSpectral::new(n);
+        let f = test_field(n);
+        r.reset_transform_count();
+        let _ = r.gradient(&f);
+        assert_eq!(r.transform_count(), 4);
+        r.reset_transform_count();
+        let va = grid_eval(n, |x| x[0].cos());
+        let _ = r.divergence([&va, &va, &va]);
+        assert_eq!(r.transform_count(), 4, "divergence is 3 forwards + 1 inverse");
+    }
+}

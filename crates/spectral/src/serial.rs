@@ -5,6 +5,8 @@
 //! assume real input on a periodic grid of shape `[n0, n1, n2]`, row-major,
 //! axis 2 fastest.
 
+use std::cell::Cell;
+
 use diffreg_fft::{Complex64, Fft3d};
 
 use crate::symbols;
@@ -15,12 +17,25 @@ use crate::wavenumbers::{wavenumber_deriv, k_squared};
 pub struct SerialSpectral {
     n: [usize; 3],
     fft: Fft3d,
+    /// 3D transforms (forward + inverse) executed — lets tests pin the
+    /// transform budget of composite operators.
+    transforms: Cell<usize>,
 }
 
 impl SerialSpectral {
     /// Creates a workspace for grids of shape `n`.
     pub fn new(n: [usize; 3]) -> Self {
-        Self { n, fft: Fft3d::new(n) }
+        Self { n, fft: Fft3d::new(n), transforms: Cell::new(0) }
+    }
+
+    /// Number of 3D transforms (forward + inverse) executed so far.
+    pub fn transform_count(&self) -> usize {
+        self.transforms.get()
+    }
+
+    /// Resets the transform counter to zero.
+    pub fn reset_transform_count(&self) {
+        self.transforms.set(0);
     }
 
     /// Grid shape.
@@ -41,6 +56,7 @@ impl SerialSpectral {
     /// Forward FFT of a real field into complex spectral coefficients.
     pub fn forward(&self, real: &[f64]) -> Vec<Complex64> {
         assert_eq!(real.len(), self.len());
+        self.transforms.set(self.transforms.get() + 1);
         let mut spec: Vec<Complex64> = real.iter().map(|&v| Complex64::from_real(v)).collect();
         self.fft.forward(&mut spec);
         spec
@@ -49,6 +65,7 @@ impl SerialSpectral {
     /// Inverse FFT back to a real field (imaginary residue discarded).
     pub fn inverse(&self, mut spec: Vec<Complex64>) -> Vec<f64> {
         assert_eq!(spec.len(), self.len());
+        self.transforms.set(self.transforms.get() + 1);
         self.fft.inverse(&mut spec);
         spec.into_iter().map(|z| z.re).collect()
     }
@@ -88,9 +105,22 @@ impl SerialSpectral {
         self.inverse(spec)
     }
 
-    /// Gradient `∇f` (three derivative transforms).
+    /// Gradient `∇f`: one shared forward transform, then one inverse per
+    /// component (4 transforms total instead of the 6 that three
+    /// independent `derivative` calls would cost).
     pub fn gradient(&self, field: &[f64]) -> [Vec<f64>; 3] {
-        [self.derivative(field, 0), self.derivative(field, 1), self.derivative(field, 2)]
+        let spec = self.forward(field);
+        let mut out: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (axis, o) in out.iter_mut().enumerate() {
+            let mut s = spec.clone();
+            self.for_each_bin(|l, i| {
+                let k = wavenumber_deriv(self.n[axis], i[axis]);
+                let z = s[l];
+                s[l] = Complex64::new(-k * z.im, k * z.re); // multiply by i*k
+            });
+            *o = self.inverse(s);
+        }
+        out
     }
 
     /// Divergence `div v` of a vector field.
@@ -216,6 +246,20 @@ mod tests {
         let a = sp.biharmonic(&f);
         let b = sp.laplacian(&sp.laplacian(&f));
         assert!(max_err(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn gradient_reuses_one_forward_transform() {
+        let n = [8, 8, 8];
+        let sp = SerialSpectral::new(n);
+        let f = grid_eval(n, |x| (x[0] + 2.0 * x[1]).sin() + x[2].cos());
+        sp.reset_transform_count();
+        let g = sp.gradient(&f);
+        assert_eq!(sp.transform_count(), 4, "gradient must be 1 forward + 3 inverses");
+        for (a, ga) in g.iter().enumerate() {
+            let d = sp.derivative(&f, a);
+            assert!(max_err(ga, &d) < 1e-12, "axis {a} differs from derivative path");
+        }
     }
 
     #[test]

@@ -5,42 +5,60 @@
 # external crates. This script enforces all of it:
 #   1. release build, fully offline
 #   2. full workspace test suite, fully offline
-#   3. debug-assertions test pass (collective-contract checker active)
-#   4. chaos / resilience suites at fixed seeds (fault-injection drills)
-#   5. telemetry smoke: traced 4-rank 32^3 registration must yield a valid
+#   3. kernel-overhaul parity tier in release mode: r2c/SoA/f32 fast paths
+#      vs the reference paths and analytic oracles, both switch positions
+#   4. debug-assertions test pass (collective-contract checker active)
+#   5. chaos / resilience suites at fixed seeds (fault-injection drills)
+#   6. telemetry smoke: traced 4-rank 32^3 registration must yield a valid
 #      Chrome trace, phase report, and convergence log
-#   6. doctor smoke: the same traced run writes a trace bundle and
+#   7. doctor smoke: the same traced run writes a trace bundle and
 #      diffreg-doctor hard-gates on it (100% p2p matched, all collectives
 #      complete, critical-path coverage >= 90%)
-#   7. perf-regression gate over the kernel suite (scripts/perf_gate.sh)
-#   8. static analysis: the in-tree analyzer must report zero new findings,
+#   8. perf-regression gate over the kernel suite (scripts/perf_gate.sh)
+#   9. static analysis: the in-tree analyzer must report zero new findings,
 #      and its fixture + schedule-explorer suites must pass
-#   9. clippy clean under -D warnings (skipped if clippy is not installed)
-#  10. smoke-test the individual crates a distributed solve flows through
-#  11. fail if Cargo.lock ever acquires a registry (non-path) dependency
+#  10. clippy clean under -D warnings (skipped if clippy is not installed)
+#  11. smoke-test the individual crates a distributed solve flows through
+#  12. fail if Cargo.lock ever acquires a registry (non-path) dependency
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/11] cargo build --release --offline"
+echo "==> [1/12] cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> [2/11] cargo test --offline (workspace, release)"
+echo "==> [2/12] cargo test --offline (workspace, release)"
 cargo test --workspace --release -q --offline
 
-echo "==> [3/11] cargo test --offline (workspace, debug: contract checker on)"
+echo "==> [3/12] kernel-overhaul parity tier (r2c / SoA / f32, release)"
+# The fast defaults (half-spectrum r2c transforms, SoA tricubic, optional
+# f32 reductions) are pinned against the slow reference paths and the
+# analytic oracles: r2c roundtrip/operator parity, SoA bit-identity, the
+# f32 GaussianPair tolerance tier, and the warm-arena zero-allocation
+# check. Then the whole core oracle tier re-runs with the reference paths
+# forced, proving both sides of every config switch stay green.
+cargo test -p diffreg-fft --release -q --offline
+cargo test -p diffreg-pfft --release -q --offline --test r2c_parity
+cargo test -p diffreg-core --release -q --offline --test precision
+cargo test -p diffreg-core --release -q --offline --test zero_alloc
+DIFFREG_SPECTRAL=c2c DIFFREG_INTERP=scalar \
+    cargo test -p diffreg-core --release -q --offline
+DIFFREG_SPECTRAL=c2c DIFFREG_INTERP=scalar \
+    cargo test -p diffreg-pfft --release -q --offline
+
+echo "==> [4/12] cargo test --offline (workspace, debug: contract checker on)"
 # Debug builds default the collective-ordering contract checker to ON
 # (debug_assertions); force it explicitly so the gate survives profile
 # tweaks. This continuously proves the whole solver stack is contract-clean.
 DIFFREG_COMM_CONTRACT=1 cargo test --workspace -q --offline
 
-echo "==> [4/11] chaos & resilience suites (fixed seeds)"
+echo "==> [5/12] chaos & resilience suites (fixed seeds)"
 # Fault-injection drills: seeded latency/reorder/stall/kill schedules, the
 # watchdog, rank-failure containment, and checkpoint/restart. The seeds are
 # fixed inside the tests, so this step is fully deterministic.
 cargo test -p diffreg-comm --release -q --offline --test chaos
 cargo test -p diffreg-core --release -q --offline --test resilience
 
-echo "==> [5/11] telemetry smoke (traced 4-rank 32^3 registration)"
+echo "==> [6/12] telemetry smoke (traced 4-rank 32^3 registration)"
 # Runs the end-to-end observability acceptance test at the release smoke
 # size: span tracing on, Chrome trace validated (one pid per rank, nested
 # fft/interp/transport/newton spans), rank-aggregated phase report with the
@@ -49,7 +67,7 @@ echo "==> [5/11] telemetry smoke (traced 4-rank 32^3 registration)"
 DIFFREG_TELEMETRY_SMOKE_SIZE=32 \
     cargo test -p diffreg-core --release -q --offline --test telemetry
 
-echo "==> [6/11] doctor smoke (trace bundle -> diffreg-doctor analyze --gate)"
+echo "==> [7/12] doctor smoke (trace bundle -> diffreg-doctor analyze --gate)"
 # The doctor acceptance test re-runs the traced 4-rank 32^3 registration with
 # comm-event recording on, checks matching/classification/critical-path
 # invariants in-memory, and (because DIFFREG_DOCTOR_DIR is set) writes the
@@ -65,13 +83,13 @@ cargo run -q -p diffreg-doctor --release --offline -- \
     > /dev/null
 echo "    doctor gate ok (report: target/doctor-smoke/doctor-report.txt)"
 
-echo "==> [7/11] perf-regression gate (kernel suite medians vs baseline)"
+echo "==> [8/12] perf-regression gate (kernel suite medians vs baseline)"
 # Full protocol: deterministic selftest, end-to-end proof that a 30%
 # synthetic slowdown trips the 25% gate, then a median-of-K comparison
 # against the checked-in BENCH_kernels.json (advisory across hosts).
 scripts/perf_gate.sh
 
-echo "==> [8/11] static analysis (in-tree analyzer: lints + schedule explorer)"
+echo "==> [9/12] static analysis (in-tree analyzer: lints + schedule explorer)"
 # Hard gate: zero new findings against ANALYZER_BASELINE.txt (comm and pfft
 # are held at zero baselined entries). The fixture suite pins every lint and
 # the lexer's edge cases to golden diagnostics; the sched suite pins the
@@ -82,14 +100,14 @@ cargo test -p diffreg-analyzer --release -q --offline
 # Advisory sanitizer pass (skips cleanly when toolchains are unavailable).
 scripts/sanitizers.sh || echo "    sanitizers advisory: non-zero exit tolerated"
 
-echo "==> [9/11] cargo clippy -- -D warnings"
+echo "==> [10/12] cargo clippy -- -D warnings"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "    clippy not installed; skipping lint gate"
 fi
 
-echo "==> [10/11] per-crate smoke tests"
+echo "==> [11/12] per-crate smoke tests"
 for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
              diffreg-spectral diffreg-pfft diffreg-interp \
              diffreg-transport diffreg-optim diffreg-core \
@@ -98,7 +116,7 @@ for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
     echo "    $crate ok"
 done
 
-echo "==> [11/11] dependency audit (no external crates allowed)"
+echo "==> [12/12] dependency audit (no external crates allowed)"
 # Every package in Cargo.lock must be one of ours (path deps carry no
 # `source =` line; registry/git deps do).
 if grep -q '^source = ' Cargo.lock; then
