@@ -53,6 +53,17 @@ pub struct ChaosConfig {
     pub kill_rank: Option<usize>,
     /// Op index (1-based) at which the kill fires.
     pub kill_at_op: u64,
+    /// `(rank, epoch)`: kill `rank` exactly when it issues its `epoch`-th
+    /// *collective* call (1-based) through this decorator. Epoch-keyed
+    /// faults place rank death at a reproducible point of the collective
+    /// schedule — no seed-hunting over raw op counters, since every rank of
+    /// a correct SPMD program reaches collective epoch `e` together.
+    pub kill_rank_at_epoch: Option<(usize, u64)>,
+    /// `(rank, epoch)`: stall `rank` for [`ChaosConfig::stall_epoch_ms`]
+    /// milliseconds at its `epoch`-th collective call.
+    pub stall_rank_at_epoch: Option<(usize, u64)>,
+    /// Duration of the epoch-keyed stall in milliseconds.
+    pub stall_epoch_ms: u64,
 }
 
 impl Default for ChaosConfig {
@@ -68,6 +79,9 @@ impl Default for ChaosConfig {
             stall_ms: 0,
             kill_rank: None,
             kill_at_op: 0,
+            kill_rank_at_epoch: None,
+            stall_rank_at_epoch: None,
+            stall_epoch_ms: 0,
         }
     }
 }
@@ -106,6 +120,20 @@ impl ChaosConfig {
         self.kill_at_op = at_op;
         self
     }
+
+    /// Kills `rank` exactly at its `epoch`-th collective call (1-based).
+    pub fn with_kill_at_epoch(mut self, rank: usize, epoch: u64) -> Self {
+        self.kill_rank_at_epoch = Some((rank, epoch));
+        self
+    }
+
+    /// Stalls `rank` for `ms` milliseconds exactly at its `epoch`-th
+    /// collective call (1-based).
+    pub fn with_stall_at_epoch(mut self, rank: usize, epoch: u64, ms: u64) -> Self {
+        self.stall_rank_at_epoch = Some((rank, epoch));
+        self.stall_epoch_ms = ms;
+        self
+    }
 }
 
 /// A send deferred by the reordering fault, replayed at the next flush.
@@ -127,6 +155,7 @@ pub struct ChaosComm<C: Comm> {
     cfg: ChaosConfig,
     rng: RefCell<Rng>,
     ops: Cell<u64>,
+    epochs: Cell<u64>,
     outbox: RefCell<VecDeque<Deferred<C>>>,
     log: RefCell<Vec<String>>,
 }
@@ -140,6 +169,7 @@ impl<C: Comm> ChaosComm<C> {
             cfg,
             rng: RefCell::new(rng),
             ops: Cell::new(0),
+            epochs: Cell::new(0),
             outbox: RefCell::new(VecDeque::new()),
             log: RefCell::new(Vec::new()),
         }
@@ -160,6 +190,13 @@ impl<C: Comm> ChaosComm<C> {
         self.ops.get()
     }
 
+    /// Number of *collective* calls (barrier, broadcast, allgather,
+    /// alltoallv, allreduce, split) executed so far — the decorator's
+    /// collective epoch, which the `*_at_epoch` faults key on.
+    pub fn epochs_executed(&self) -> u64 {
+        self.epochs.get()
+    }
+
     /// The schedule log so far: one line per chaos point recording the op
     /// index, the call, and any injected faults. A pure function of
     /// `(seed, rank, program)` — byte-identical across replays.
@@ -167,12 +204,22 @@ impl<C: Comm> ChaosComm<C> {
         self.log.borrow().clone()
     }
 
-    /// One chaos point: counts the op, then (in fixed draw order, so the
-    /// stream never depends on which faults are enabled) injects kill,
-    /// stall, and latency faults, and records the schedule line.
-    fn chaos_point(&self, desc: &str) {
+    /// One chaos point: counts the op (and, for collectives, the collective
+    /// epoch), then (in fixed draw order, so the stream never depends on
+    /// which faults are enabled) injects kill, stall, and latency faults,
+    /// and records the schedule line. Epoch-keyed faults only ever trigger
+    /// at collective points — every rank of a correct SPMD program counts
+    /// collectives identically, which is what makes their placement exact.
+    fn chaos_point(&self, desc: &str, collective: bool) {
         let op = self.ops.get() + 1;
         self.ops.set(op);
+        let epoch = if collective {
+            let e = self.epochs.get() + 1;
+            self.epochs.set(e);
+            e
+        } else {
+            0
+        };
         let rank = self.inner.rank();
         let (lat_hit, lat_us) = {
             let mut rng = self.rng.borrow_mut();
@@ -185,17 +232,32 @@ impl<C: Comm> ChaosComm<C> {
             // diffreg-allow(no-unwrap-in-lib): the injected kill IS the fault under test — panicking here is the feature
             panic!("chaos: injected kill on rank {rank} at op {op} ({desc})");
         }
-        let stalled = self.cfg.stall_rank == Some(rank) && op == self.cfg.stall_at_op;
-        let mut line = format!("op{op} {desc}");
+        if collective && self.cfg.kill_rank_at_epoch == Some((rank, epoch)) {
+            self.log.borrow_mut().push(format!("op{op} epoch{epoch} {desc} KILL"));
+            // diffreg-allow(no-unwrap-in-lib): the injected kill IS the fault under test — panicking here is the feature
+            panic!("chaos: injected kill on rank {rank} at collective epoch {epoch} ({desc})");
+        }
+        let stalled = (self.cfg.stall_rank == Some(rank) && op == self.cfg.stall_at_op)
+            || (collective && self.cfg.stall_rank_at_epoch == Some((rank, epoch)));
+        let stall_ms = if self.cfg.stall_rank == Some(rank) && op == self.cfg.stall_at_op {
+            self.cfg.stall_ms
+        } else {
+            self.cfg.stall_epoch_ms
+        };
+        let mut line = if collective {
+            format!("op{op} epoch{epoch} {desc}")
+        } else {
+            format!("op{op} {desc}")
+        };
         if stalled {
-            line.push_str(&format!(" stall={}ms", self.cfg.stall_ms));
+            line.push_str(&format!(" stall={stall_ms}ms"));
         }
         if lat_hit {
             line.push_str(&format!(" latency={lat_us}us"));
         }
         self.log.borrow_mut().push(line);
         if stalled {
-            std::thread::sleep(Duration::from_millis(self.cfg.stall_ms));
+            std::thread::sleep(Duration::from_millis(stall_ms));
         }
         if lat_hit {
             std::thread::sleep(Duration::from_micros(lat_us));
@@ -275,19 +337,19 @@ impl<C: Comm> Comm for ChaosComm<C> {
     }
 
     fn barrier(&self) {
-        self.chaos_point("barrier");
+        self.chaos_point("barrier", true);
         self.flush_outbox();
         self.inner.barrier();
     }
 
     fn try_barrier(&self) -> Result<(), CommError> {
-        self.chaos_point("barrier");
+        self.chaos_point("barrier", true);
         self.flush_outbox();
         self.inner.try_barrier()
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) {
-        self.chaos_point(&format!("send(dst={dst}, tag={tag})"));
+        self.chaos_point(&format!("send(dst={dst}, tag={tag})"), false);
         let reorder_hit = self.rng.borrow_mut().chance(self.cfg.reorder_prob);
         let mut outbox = self.outbox.borrow_mut();
         // A send must be deferred if an older message on the same (dst, tag)
@@ -309,67 +371,67 @@ impl<C: Comm> Comm for ChaosComm<C> {
 
     fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: Vec<T>) -> Result<(), CommError> {
         // Fallible sends are never deferred: the caller wants the error now.
-        self.chaos_point(&format!("send(dst={dst}, tag={tag})"));
+        self.chaos_point(&format!("send(dst={dst}, tag={tag})"), false);
         self.flush_outbox();
         self.inner.try_send(dst, tag, data)
     }
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
-        self.chaos_point(&format!("recv(src={src}, tag={tag})"));
+        self.chaos_point(&format!("recv(src={src}, tag={tag})"), false);
         self.flush_outbox();
         self.inner.recv(src, tag)
     }
 
     fn try_recv<T: CommData>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
-        self.chaos_point(&format!("recv(src={src}, tag={tag})"));
+        self.chaos_point(&format!("recv(src={src}, tag={tag})"), false);
         self.flush_outbox();
         self.inner.try_recv(src, tag)
     }
 
     fn broadcast<T: CommData + Clone>(&self, root: usize, data: &mut Vec<T>) {
-        self.chaos_point(&format!("broadcast(root={root})"));
+        self.chaos_point(&format!("broadcast(root={root})"), true);
         self.flush_outbox();
         self.inner.broadcast(root, data);
     }
 
     fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
-        self.chaos_point("allgather");
+        self.chaos_point("allgather", true);
         self.flush_outbox();
         self.inner.allgather(data)
     }
 
     fn alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        self.chaos_point("alltoallv");
+        self.chaos_point("alltoallv", true);
         self.flush_outbox();
         self.inner.alltoallv(parts)
     }
 
     fn try_alltoallv<T: CommData>(&self, parts: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, CommError> {
-        self.chaos_point("alltoallv");
+        self.chaos_point("alltoallv", true);
         self.flush_outbox();
         self.inner.try_alltoallv(parts)
     }
 
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
-        self.chaos_point("allreduce");
+        self.chaos_point("allreduce", true);
         self.flush_outbox();
         self.inner.allreduce(vals, op);
     }
 
     fn try_allreduce(&self, vals: &mut [f64], op: ReduceOp) -> Result<(), CommError> {
-        self.chaos_point("allreduce");
+        self.chaos_point("allreduce", true);
         self.flush_outbox();
         self.inner.try_allreduce(vals, op)
     }
 
     fn allreduce_usize(&self, vals: &mut [usize], op: ReduceOp) {
-        self.chaos_point("allreduce_usize");
+        self.chaos_point("allreduce_usize", true);
         self.flush_outbox();
         self.inner.allreduce_usize(vals, op);
     }
 
     fn split(&self, color: usize, key: usize) -> ChaosComm<C::Sub> {
-        self.chaos_point(&format!("split(color={color})"));
+        self.chaos_point(&format!("split(color={color})"), true);
         self.flush_outbox();
         let sub = self.inner.split(color, key);
         // Derive the sub-schedule seed from this rank's stream so replays
@@ -380,6 +442,8 @@ impl<C: Comm> Comm for ChaosComm<C> {
         cfg.seed = sub_seed;
         cfg.kill_rank = None;
         cfg.stall_rank = None;
+        cfg.kill_rank_at_epoch = None;
+        cfg.stall_rank_at_epoch = None;
         ChaosComm::new(sub, cfg)
     }
 

@@ -55,5 +55,5 @@ pub use error::{tag_display, CollOp, CommError, RankFailure, TAG_INTERNAL};
 pub use events::{monotonic_ns, CommEvent, CommOp};
 pub use serial::SerialComm;
 pub use stats::{CommStats, TimerGuard, Timers};
-pub use threaded::{run_threaded, run_threaded_checked, ThreadComm};
+pub use threaded::{run_gang, run_threaded, run_threaded_checked, ThreadComm};
 pub use traits::{Comm, CommData, ReduceOp};

@@ -1140,6 +1140,42 @@ where
     results.into_iter().map(Option::unwrap).collect()
 }
 
+/// Runs `f` over an *owned* (usually split-off) communicator with rank-kill
+/// containment, without consuming the calling thread: the gang-scoped
+/// analogue of [`run_threaded_checked`].
+///
+/// This is the primitive a rank-pool runtime needs to survive the death of a
+/// job gang. Each pool rank calls `run_gang` on the sub-communicator it got
+/// from [`Comm::split`]; if `f` panics (an injected kill, a watchdog
+/// timeout, a solver bug), the panic is caught, the *gang's* barrier is
+/// poisoned and the gang endpoints are dropped — so gang peers blocked on
+/// the dead rank observe [`CommError::PeerGone`] and cascade into their own
+/// contained failures — while the calling thread, the parent communicator,
+/// and every sibling gang continue untouched. Sub-communicators `f` creates
+/// by splitting the gang further are unwound (and their endpoints closed)
+/// with `f`'s stack.
+///
+/// On success the gang communicator is dropped too: a gang is single-use,
+/// the next job gets a fresh split.
+pub fn run_gang<R>(
+    comm: ThreadComm,
+    f: impl FnOnce(&ThreadComm) -> R,
+) -> Result<R, RankFailure> {
+    let rank = comm.rank;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            // Snapshot where the gang peers were *before* advertising our
+            // own death, then unblock them.
+            let context = format!("state at failure:\n  {}", comm.registry.table().join("\n  "));
+            comm.registry.set(rank, BlockedOn::Dead);
+            comm.barrier.poison(rank);
+            drop(comm); // closes senders: blocked gang peers see PeerGone
+            Err(RankFailure { rank, payload: payload_text(payload), context })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -236,3 +236,77 @@ fn split_subcomms_stay_deterministic_under_chaos() {
     };
     assert_eq!(run(), run());
 }
+
+/// Epoch-keyed kills fire at an exact *collective* epoch, independent of how
+/// many p2p ops preceded them — the property that makes failure placement
+/// reproducible without seed-hunting over raw op counters. Rank 1 does extra
+/// rank-dependent p2p traffic first; the kill still lands exactly at its
+/// 3rd collective.
+#[test]
+fn kill_at_epoch_fires_at_exact_collective_epoch() {
+    let out = run_threaded_checked(4, |c| {
+        c.set_timeout(Some(Duration::from_secs(10)));
+        let chaos = ChaosComm::new(c, ChaosConfig::seeded(5).with_kill_at_epoch(1, 3));
+        // Rank-dependent p2p prologue: shifts op counters, not epochs.
+        if chaos.rank() == 0 {
+            chaos.send(1, 77, vec![1u8]);
+            chaos.send(1, 78, vec![2u8]);
+        }
+        if chaos.rank() == 1 {
+            let _: Vec<u8> = chaos.recv(0, 77);
+            let _: Vec<u8> = chaos.recv(0, 78);
+        }
+        chaos.barrier(); // epoch 1
+        let mut v = vec![chaos.rank() as f64];
+        chaos.allreduce(&mut v, ReduceOp::Sum); // epoch 2
+        assert_eq!(chaos.epochs_executed(), 2);
+        chaos.barrier(); // epoch 3: rank 1 dies here
+        chaos.barrier(); // unreachable for everyone (PeerGone cascade)
+        chaos.schedule()
+    });
+    let fail = out[1].as_ref().expect_err("rank 1 must be killed");
+    assert!(
+        fail.payload.contains("collective epoch 3"),
+        "kill must report its epoch: {}",
+        fail.payload
+    );
+    for (r, res) in out.iter().enumerate() {
+        if r != 1 {
+            let e = res.as_ref().expect_err("peers must cascade, not hang");
+            assert!(
+                e.payload.contains("peer") || e.payload.to_lowercase().contains("timeout"),
+                "rank {r}: unexpected failure {}",
+                e.payload
+            );
+        }
+    }
+}
+
+/// Epoch-keyed stalls perturb timing only: results stay bitwise identical
+/// to the fault-free run and the schedule replay is byte-identical, with
+/// the stall recorded at the exact collective epoch.
+#[test]
+fn stall_at_epoch_is_timing_only_and_replays() {
+    let clean: Vec<u64> = run_threaded(4, |c| workload(c).to_bits());
+    let run = || {
+        run_threaded(4, |c| {
+            let chaos = ChaosComm::new(
+                c,
+                ChaosConfig::seeded(11).with_latency(0.2, 40).with_stall_at_epoch(2, 2, 30),
+            );
+            (workload(&chaos).to_bits(), chaos.schedule())
+        })
+    };
+    let first = run();
+    let replay = run();
+    let bits: Vec<u64> = first.iter().map(|(b, _)| *b).collect();
+    assert_eq!(bits, clean, "epoch stall changed results");
+    let scheds: Vec<_> = first.iter().map(|(_, s)| s.clone()).collect();
+    let scheds2: Vec<_> = replay.iter().map(|(_, s)| s.clone()).collect();
+    assert_eq!(scheds, scheds2, "epoch-stall schedule must replay byte-identically");
+    assert!(
+        scheds[2].iter().any(|l| l.contains("epoch2") && l.contains("stall=30ms")),
+        "rank 2 schedule must record the stall at epoch 2: {:?}",
+        scheds[2]
+    );
+}

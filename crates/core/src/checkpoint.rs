@@ -15,10 +15,21 @@
 //! the same grid and process decomposition (validated by [`SolverCheckpoint::
 //! velocity_field`]).
 //!
+//! The `DRCK` v2 wire format is self-validating: the header carries the
+//! payload length and an FNV-1a 64 checksum of the payload, so a torn write
+//! (truncation, bit rot, a crash mid-`write`) is *detected* at load time and
+//! reported as a typed [`CheckpointError`] instead of deserializing garbage
+//! velocity data into the solver.
+//!
 //! [`CheckpointStore`] abstracts where the bytes go: `Disabled` (no-op),
 //! `Memory` (a shared map — what the tests and in-process retries use), or
-//! `File` (one file per rank, written atomically via a temp file + rename so
-//! a crash mid-write never corrupts the previous checkpoint).
+//! `File` (one file per rank, written atomically via a temp file + rename).
+//! Both writable backends keep **two generations** per rank: `save` rotates
+//! the current checkpoint into the previous-generation slot before
+//! publishing the new one, and [`CheckpointStore::load_for_resume`] falls
+//! back to the previous good generation when the current one fails
+//! validation. A corrupt checkpoint therefore costs at most one
+//! checkpoint interval of recomputation, never the whole run.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -28,7 +39,88 @@ use diffreg_grid::{Block, VectorField};
 
 /// Serialization magic ("DRCK") + format version.
 const MAGIC: &[u8; 4] = b"DRCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Byte length of the v2 header: magic + version + payload length + FNV-1a
+/// checksum of the payload.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit hash — the checkpoint payload checksum. Not cryptographic;
+/// it detects the failure modes checkpoints actually suffer (truncation,
+/// torn writes, bit corruption), which is all the fault model asks for.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a checkpoint failed to load: the typed surface of the validation
+/// path. Every variant means "this generation is unusable", and the caller
+/// ([`CheckpointStore::load_for_resume`]) falls back to the previous
+/// generation or a fresh start instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Fewer bytes than `need` were available at offset `at` — a truncated
+    /// (torn) write.
+    Truncated {
+        /// Bytes the parser needed at the failure offset.
+        need: usize,
+        /// Offset at which the payload ran out.
+        at: usize,
+    },
+    /// The first four bytes are not `DRCK`.
+    BadMagic,
+    /// A `DRCK` header with a version this build does not speak.
+    BadVersion(u32),
+    /// The header-declared payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// Payload length the header promised.
+        expect: usize,
+        /// Payload length actually present.
+        got: usize,
+    },
+    /// The payload hash does not match the header checksum — bit corruption
+    /// within a length-consistent payload.
+    ChecksumMismatch {
+        /// Checksum the header promised.
+        expect: u64,
+        /// Checksum of the payload as found.
+        got: u64,
+    },
+    /// Well-formed checkpoint followed by garbage bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated { need, at } => {
+                write!(f, "truncated checkpoint: need {need} bytes at {at}")
+            }
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic (want {MAGIC:?})"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (want {VERSION})")
+            }
+            CheckpointError::LengthMismatch { expect, got } => {
+                write!(f, "checkpoint length mismatch: header says {expect} payload bytes, got {got}")
+            }
+            CheckpointError::ChecksumMismatch { expect, got } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: header says {expect:#018x}, payload hashes to {got:#018x}"
+                )
+            }
+            CheckpointError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after checkpoint payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// One rank's resumable snapshot of the continuation solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,53 +171,76 @@ impl SolverCheckpoint {
         v
     }
 
-    /// Serializes to the `DRCK` v1 little-endian wire format.
+    /// Serializes to the `DRCK` v2 little-endian wire format: a header with
+    /// payload length and FNV-1a checksum, then the payload.
     pub fn to_bytes(&self) -> Vec<u8> {
         let n = self.velocity[0].len();
         assert!(self.velocity.iter().all(|c| c.len() == n), "ragged velocity components");
-        let mut out = Vec::with_capacity(4 + 4 + 8 * 4 + 8 + 24 * n);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&(self.level as u64).to_le_bytes());
-        out.extend_from_slice(&(self.completed_iters as u64).to_le_bytes());
-        out.extend_from_slice(&self.beta.to_le_bytes());
-        out.extend_from_slice(&self.g0norm.to_le_bytes());
-        out.extend_from_slice(&(n as u64).to_le_bytes());
+        let mut payload = Vec::with_capacity(8 * 5 + 24 * n);
+        payload.extend_from_slice(&(self.level as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.completed_iters as u64).to_le_bytes());
+        payload.extend_from_slice(&self.beta.to_le_bytes());
+        payload.extend_from_slice(&self.g0norm.to_le_bytes());
+        payload.extend_from_slice(&(n as u64).to_le_bytes());
         for comp in &self.velocity {
             for x in comp {
-                out.extend_from_slice(&x.to_le_bytes());
+                payload.extend_from_slice(&x.to_le_bytes());
             }
         }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
         out
     }
 
     /// Parses the `DRCK` wire format; rejects bad magic, unknown versions,
-    /// and truncated payloads with a descriptive error.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    /// truncated or over-long payloads, and checksum mismatches with a
+    /// typed [`CheckpointError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut off = 0usize;
-        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
             let s = bytes
                 .get(*off..*off + n)
-                .ok_or_else(|| format!("truncated checkpoint: need {} bytes at {}", n, off))?;
+                .ok_or(CheckpointError::Truncated { need: n, at: *off })?;
             *off += n;
             Ok(s)
         };
         let magic = take(&mut off, 4)?;
         if magic != MAGIC {
-            return Err(format!("bad checkpoint magic {:?} (want {:?})", magic, MAGIC));
+            return Err(CheckpointError::BadMagic);
         }
         let version = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
         if version != VERSION {
-            return Err(format!("unsupported checkpoint version {version} (want {VERSION})"));
+            return Err(CheckpointError::BadVersion(version));
         }
-        let u64_at = |off: &mut usize| -> Result<u64, String> {
+        let u64_at = |off: &mut usize| -> Result<u64, CheckpointError> {
             Ok(u64::from_le_bytes(take(off, 8)?.try_into().unwrap()))
         };
+        let payload_len = u64_at(&mut off)? as usize;
+        let checksum = u64_at(&mut off)?;
+        let got = bytes.len().saturating_sub(HEADER_LEN);
+        if got < payload_len {
+            return Err(CheckpointError::LengthMismatch { expect: payload_len, got });
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        let found = fnv1a64(payload);
+        if found != checksum {
+            return Err(CheckpointError::ChecksumMismatch { expect: checksum, got: found });
+        }
         let level = u64_at(&mut off)? as usize;
         let completed_iters = u64_at(&mut off)? as usize;
         let beta = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
         let g0norm = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
         let n = u64_at(&mut off)? as usize;
+        // The slab length must be consistent with the checksummed payload
+        // length, or the reserve below could balloon on a hostile header.
+        let body = payload_len.saturating_sub(8 * 5);
+        if body != 24 * n {
+            return Err(CheckpointError::LengthMismatch { expect: 8 * 5 + 24 * n, got: payload_len });
+        }
         let mut velocity: [Vec<f64>; 3] = [vec![], vec![], vec![]];
         for comp in velocity.iter_mut() {
             comp.reserve_exact(n);
@@ -134,10 +249,42 @@ impl SolverCheckpoint {
             }
         }
         if off != bytes.len() {
-            return Err(format!("{} trailing bytes after checkpoint payload", bytes.len() - off));
+            return Err(CheckpointError::TrailingBytes(bytes.len() - off));
         }
         Ok(Self { level, beta, completed_iters, g0norm, velocity })
     }
+}
+
+/// How [`CheckpointStore::load_for_resume`] obtained (or failed to obtain)
+/// a checkpoint, for recovery accounting and operator logs.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeLoad {
+    /// The validated checkpoint, if any generation parsed cleanly.
+    pub checkpoint: Option<SolverCheckpoint>,
+    /// The current generation was unusable and the previous good generation
+    /// was used instead.
+    pub fell_back: bool,
+    /// Validation errors encountered on the way (current generation first).
+    /// Non-empty with `checkpoint: Some(..)` means a fallback happened;
+    /// non-empty with `checkpoint: None` means every generation was corrupt
+    /// and the caller must start fresh.
+    pub errors: Vec<CheckpointError>,
+}
+
+/// Per-rank checkpoint generations held by the `Memory` backend: the
+/// current checkpoint plus the previous good one (the fallback).
+#[derive(Debug, Clone, Default)]
+pub struct Generations {
+    current: Vec<u8>,
+    previous: Option<Vec<u8>>,
+}
+
+fn lock_map(
+    map: &Mutex<HashMap<usize, Generations>>,
+) -> std::sync::MutexGuard<'_, HashMap<usize, Generations>> {
+    // Proceed through lock poisoning: a rank that panics mid-save must not
+    // take the shared store down with it — recovery is the whole point.
+    map.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Where checkpoints are kept. Cheap to clone; the `Memory` variant shares
@@ -147,10 +294,12 @@ impl SolverCheckpoint {
 pub enum CheckpointStore {
     /// Checkpointing disabled: saves are no-ops, loads return `None`.
     Disabled,
-    /// In-memory per-rank map, shared between clones.
-    Memory(Arc<Mutex<HashMap<usize, Vec<u8>>>>),
-    /// One file per rank under this directory (`ckpt.rank{r}.drck`),
-    /// written atomically (temp file + rename).
+    /// In-memory per-rank map, shared between clones. Keeps the current and
+    /// previous generation per rank.
+    Memory(Arc<Mutex<HashMap<usize, Generations>>>),
+    /// One file per rank under this directory (`ckpt.rank{r}.drck`, previous
+    /// generation `ckpt.rank{r}.prev.drck`), written atomically (temp file +
+    /// rename).
     File(PathBuf),
 }
 
@@ -174,17 +323,33 @@ impl CheckpointStore {
         dir.join(format!("ckpt.rank{rank}.drck"))
     }
 
-    /// Persists `rank`'s checkpoint bytes, replacing any previous one. File
-    /// saves are atomic: a crash mid-save leaves the old checkpoint intact.
+    fn prev_path(dir: &std::path::Path, rank: usize) -> PathBuf {
+        dir.join(format!("ckpt.rank{rank}.prev.drck"))
+    }
+
+    /// Persists `rank`'s checkpoint bytes, rotating the previous checkpoint
+    /// into the fallback generation. File saves are atomic: a crash
+    /// mid-save leaves the old checkpoint intact.
     pub fn save(&self, rank: usize, bytes: &[u8]) {
         match self {
             CheckpointStore::Disabled => {}
             CheckpointStore::Memory(map) => {
-                map.lock().unwrap().insert(rank, bytes.to_vec());
+                let mut map = lock_map(map);
+                let gens = map.entry(rank).or_default();
+                if !gens.current.is_empty() {
+                    gens.previous = Some(std::mem::take(&mut gens.current));
+                }
+                gens.current = bytes.to_vec();
             }
             CheckpointStore::File(dir) => {
                 std::fs::create_dir_all(dir).expect("create checkpoint dir");
                 let path = Self::rank_path(dir, rank);
+                if path.exists() {
+                    // Rotate before publishing; if the process dies between
+                    // the two renames the previous generation still holds a
+                    // good checkpoint.
+                    let _ = std::fs::rename(&path, Self::prev_path(dir, rank));
+                }
                 let tmp = path.with_extension("drck.tmp");
                 std::fs::write(&tmp, bytes).expect("write checkpoint temp file");
                 std::fs::rename(&tmp, &path).expect("publish checkpoint file");
@@ -192,25 +357,110 @@ impl CheckpointStore {
         }
     }
 
-    /// Loads `rank`'s most recent checkpoint bytes, if any.
+    /// Loads `rank`'s most recent checkpoint bytes, if any. Raw and
+    /// unvalidated — resume paths should prefer
+    /// [`CheckpointStore::load_for_resume`].
     pub fn load(&self, rank: usize) -> Option<Vec<u8>> {
         match self {
             CheckpointStore::Disabled => None,
-            CheckpointStore::Memory(map) => map.lock().unwrap().get(&rank).cloned(),
+            CheckpointStore::Memory(map) => {
+                lock_map(map).get(&rank).map(|g| g.current.clone())
+            }
             CheckpointStore::File(dir) => std::fs::read(Self::rank_path(dir, rank)).ok(),
         }
     }
 
-    /// Drops `rank`'s checkpoint (after a successful run, so a later solve
-    /// does not accidentally resume from a stale snapshot).
+    /// Loads `rank`'s previous-generation checkpoint bytes, if any.
+    pub fn load_previous(&self, rank: usize) -> Option<Vec<u8>> {
+        match self {
+            CheckpointStore::Disabled => None,
+            CheckpointStore::Memory(map) => {
+                lock_map(map).get(&rank).and_then(|g| g.previous.clone())
+            }
+            CheckpointStore::File(dir) => std::fs::read(Self::prev_path(dir, rank)).ok(),
+        }
+    }
+
+    /// Validated load with fallback: parses the current generation, and on
+    /// any [`CheckpointError`] falls back to the previous good generation.
+    /// Never panics; if every generation is corrupt the caller gets
+    /// `checkpoint: None` plus the errors, and resumes fresh.
+    pub fn load_for_resume(&self, rank: usize) -> ResumeLoad {
+        let mut out = ResumeLoad::default();
+        if let Some(bytes) = self.load(rank) {
+            match SolverCheckpoint::from_bytes(&bytes) {
+                Ok(ck) => {
+                    out.checkpoint = Some(ck);
+                    return out;
+                }
+                Err(e) => out.errors.push(e),
+            }
+        } else {
+            return out;
+        }
+        // Current generation present but corrupt: try the fallback.
+        if let Some(bytes) = self.load_previous(rank) {
+            match SolverCheckpoint::from_bytes(&bytes) {
+                Ok(ck) => {
+                    out.checkpoint = Some(ck);
+                    out.fell_back = true;
+                }
+                Err(e) => out.errors.push(e),
+            }
+        }
+        out
+    }
+
+    /// Fault drill: corrupts `rank`'s *current* checkpoint generation in
+    /// place, simulating a torn write (truncation plus a flipped byte).
+    /// Returns `true` if there was a checkpoint to corrupt. The previous
+    /// generation is left untouched, which is exactly what
+    /// [`CheckpointStore::load_for_resume`] recovers from.
+    pub fn inject_corruption(&self, rank: usize) -> bool {
+        let torn = |bytes: &[u8]| -> Vec<u8> {
+            let mut t = bytes[..bytes.len() / 2].to_vec();
+            if let Some(b) = t.last_mut() {
+                *b ^= 0x5a;
+            }
+            t
+        };
+        match self {
+            CheckpointStore::Disabled => false,
+            CheckpointStore::Memory(map) => {
+                let mut map = lock_map(map);
+                match map.get_mut(&rank) {
+                    Some(g) if !g.current.is_empty() => {
+                        g.current = torn(&g.current);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            CheckpointStore::File(dir) => {
+                let path = Self::rank_path(dir, rank);
+                match std::fs::read(&path) {
+                    // A torn write bypasses the tmp+rename protocol by
+                    // definition: scribble the published file directly.
+                    Ok(bytes) if !bytes.is_empty() => {
+                        std::fs::write(&path, torn(&bytes)).is_ok()
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Drops `rank`'s checkpoint generations (after a successful run, so a
+    /// later solve does not accidentally resume from a stale snapshot).
     pub fn clear(&self, rank: usize) {
         match self {
             CheckpointStore::Disabled => {}
             CheckpointStore::Memory(map) => {
-                map.lock().unwrap().remove(&rank);
+                lock_map(map).remove(&rank);
             }
             CheckpointStore::File(dir) => {
                 let _ = std::fs::remove_file(Self::rank_path(dir, rank));
+                let _ = std::fs::remove_file(Self::prev_path(dir, rank));
             }
         }
     }
@@ -265,17 +515,43 @@ mod tests {
         let bytes = sample().to_bytes();
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(SolverCheckpoint::from_bytes(&bad).unwrap_err().contains("magic"));
+        assert_eq!(SolverCheckpoint::from_bytes(&bad).unwrap_err(), CheckpointError::BadMagic);
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
-        assert!(SolverCheckpoint::from_bytes(&wrong_version)
-            .unwrap_err()
-            .contains("version"));
+        assert_eq!(
+            SolverCheckpoint::from_bytes(&wrong_version).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        );
         let truncated = &bytes[..bytes.len() - 5];
-        assert!(SolverCheckpoint::from_bytes(truncated).unwrap_err().contains("truncated"));
+        assert!(matches!(
+            SolverCheckpoint::from_bytes(truncated).unwrap_err(),
+            CheckpointError::LengthMismatch { .. }
+        ));
         let mut trailing = bytes.clone();
         trailing.push(0);
-        assert!(SolverCheckpoint::from_bytes(&trailing).unwrap_err().contains("trailing"));
+        assert_eq!(SolverCheckpoint::from_bytes(&trailing).unwrap_err(), CheckpointError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn bit_corruption_fails_the_checksum() {
+        let mut bytes = sample().to_bytes();
+        // Flip one payload bit; length stays consistent so only the
+        // checksum can catch it.
+        let k = bytes.len() - 9;
+        bytes[k] ^= 0x01;
+        assert!(matches!(
+            SolverCheckpoint::from_bytes(&bytes).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn header_truncation_is_typed() {
+        let bytes = sample().to_bytes();
+        assert!(matches!(
+            SolverCheckpoint::from_bytes(&bytes[..10]).unwrap_err(),
+            CheckpointError::Truncated { .. }
+        ));
     }
 
     #[test]
@@ -294,17 +570,32 @@ mod tests {
     }
 
     #[test]
+    fn save_rotates_generations() {
+        let store = CheckpointStore::memory();
+        store.save(1, b"first");
+        assert!(store.load_previous(1).is_none());
+        store.save(1, b"second");
+        assert_eq!(store.load(1).as_deref(), Some(&b"second"[..]));
+        assert_eq!(store.load_previous(1).as_deref(), Some(&b"first"[..]));
+        store.clear(1);
+        assert!(store.load(1).is_none() && store.load_previous(1).is_none());
+    }
+
+    #[test]
     fn disabled_store_is_a_no_op() {
         let store = CheckpointStore::Disabled;
         assert!(!store.is_enabled());
         store.save(0, b"abc");
         assert!(store.load(0).is_none());
+        assert!(!store.inject_corruption(0));
+        assert!(store.load_for_resume(0).checkpoint.is_none());
     }
 
     #[test]
     fn file_store_roundtrips_atomically() {
         let dir = std::env::temp_dir()
             .join(format!("diffreg-ckpt-test-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
         let store = CheckpointStore::file(&dir);
         let ck = sample();
         store.save(2, &ck.to_bytes());
@@ -319,6 +610,55 @@ mod tests {
         assert_eq!(back, ck);
         store.clear(2);
         assert!(store.load(2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite acceptance drill: a torn write to the current
+    /// generation must be detected by validation and recovered from via the
+    /// previous good generation — on both writable backends.
+    #[test]
+    fn torn_write_falls_back_to_previous_good_checkpoint() {
+        let dir = std::env::temp_dir().join(format!(
+            "diffreg-ckpt-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for store in [CheckpointStore::memory(), CheckpointStore::file(&dir)] {
+            let older = SolverCheckpoint { completed_iters: 1, ..sample() };
+            let newer = SolverCheckpoint { completed_iters: 2, ..sample() };
+            store.save(0, &older.to_bytes());
+            store.save(0, &newer.to_bytes());
+
+            // Healthy path: the current generation wins.
+            let healthy = store.load_for_resume(0);
+            assert_eq!(healthy.checkpoint.as_ref().unwrap().completed_iters, 2);
+            assert!(!healthy.fell_back && healthy.errors.is_empty());
+
+            // Tear the current generation mid-write.
+            assert!(store.inject_corruption(0));
+            let recovered = store.load_for_resume(0);
+            let ck = recovered.checkpoint.expect("fallback generation must load");
+            assert_eq!(ck.completed_iters, 1, "must recover the previous good checkpoint");
+            assert!(recovered.fell_back, "recovery must be reported as a fallback");
+            assert_eq!(recovered.errors.len(), 1, "the torn generation yields one typed error");
+
+            // Corrupting the fallback too leaves a clean fresh start.
+            match &store {
+                CheckpointStore::Memory(map) => {
+                    let mut m = lock_map(map);
+                    let g = m.get_mut(&0).unwrap();
+                    g.previous = Some(b"garbage".to_vec());
+                }
+                CheckpointStore::File(d) => {
+                    std::fs::write(CheckpointStore::prev_path(d, 0), b"garbage").unwrap();
+                }
+                CheckpointStore::Disabled => unreachable!(),
+            }
+            let fresh = store.load_for_resume(0);
+            assert!(fresh.checkpoint.is_none(), "double corruption resumes fresh");
+            assert_eq!(fresh.errors.len(), 2, "both generations report typed errors");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

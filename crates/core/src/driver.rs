@@ -195,9 +195,10 @@ pub fn register_with_continuation_checkpointed_hooked<C: Comm>(
     let mut start_level = 0usize;
     let mut v = VectorField::zeros(ws.block());
     let mut resume: Option<NewtonResume> = None;
-    if let Some(bytes) = store.load(rank) {
-        let ck = SolverCheckpoint::from_bytes(&bytes)
-            .unwrap_or_else(|e| panic!("rank {rank}: unreadable checkpoint: {e}"));
+    // Validated load with fallback: a torn current generation falls back to
+    // the previous good checkpoint, and a fully corrupt store resumes fresh
+    // (losing at most the checkpointed progress, never the job).
+    if let Some(ck) = store.load_for_resume(rank).checkpoint {
         assert!(
             ck.level < betas.len(),
             "checkpoint level {} outside the {}-level β schedule",
@@ -278,8 +279,17 @@ pub fn register_with_continuation_logged<C: Comm>(
     log: &mut diffreg_telemetry::ConvergenceLog,
 ) -> (RegistrationOutcome, Vec<NewtonReport>) {
     let rank = ws.comm.rank();
-    if let Some(bytes) = store.load(rank) {
-        if let Ok(ck) = SolverCheckpoint::from_bytes(&bytes) {
+    {
+        let resume = store.load_for_resume(rank);
+        if resume.fell_back {
+            log.event(
+                "checkpoint-fallback",
+                0,
+                0,
+                format!("current generation corrupt: {}", resume.errors[0]),
+            );
+        }
+        if let Some(ck) = resume.checkpoint {
             log.event(
                 "resume",
                 ck.level,

@@ -43,7 +43,7 @@ mod multires;
 mod problem;
 mod rigid;
 
-pub use checkpoint::{CheckpointStore, SolverCheckpoint};
+pub use checkpoint::{CheckpointError, CheckpointStore, ResumeLoad, SolverCheckpoint};
 pub use config::{HessianKind, RegistrationConfig};
 pub use distance::Distance;
 pub use driver::{

@@ -1,0 +1,892 @@
+//! The SPMD serving loop: a shared rank pool that multiplexes many
+//! concurrent registration jobs, contains their failures, and recovers them
+//! from checkpoints.
+//!
+//! ## Architecture
+//!
+//! [`ServeHarness::serve_pool`] runs on **every** pool rank (inside
+//! `run_threaded`). The scheduler has no coordinator: each rank holds an
+//! identical replica of the job table and advances it in lock-step rounds:
+//!
+//! 1. **intake** — rank 0 drains the submission/cancel inboxes and
+//!    broadcasts one blob; every rank applies the identical admissions
+//!    (with capacity-based rejection), cancellations, backoff releases, and
+//!    deadline sweeps;
+//! 2. **plan** — every rank evaluates the pure
+//!    [`plan_round`](crate::scheduler::plan_round) packing on its replica
+//!    and obtains the identical gang layout;
+//! 3. **split + execute** — the layout is the `Comm::split` coloring; each
+//!    gang runs one job attempt under [`run_gang`] containment, wrapped in
+//!    a [`ChaosComm`] carrying the attempt's planned faults. A rank killed
+//!    inside a gang unwinds into a structured failure; the pool rank
+//!    survives and rejoins the world;
+//! 4. **outcome allgather + fold** — every rank hears every gang member's
+//!    report and folds the identical state transition: complete, cancel,
+//!    expire, fail (budget exhausted), or back off and retry — resuming
+//!    from the job's checkpoint when one exists, degrading the gang size
+//!    when fresh restarts keep dying.
+//!
+//! Because every state transition derives from broadcast or allgathered
+//! data, replicas can never diverge — and the whole campaign replays
+//! bit-identically under a fixed fault plan.
+//!
+//! ## Checkpoint recovery
+//!
+//! Jobs with `checkpoint_every > 0` write per-gang-rank checkpoints through
+//! `diffreg-core`'s two-generation [`CheckpointStore`]. On retry the gang
+//! first *agrees* on the resume point: each member loads its slot with
+//! validated fallback and the gang allreduces a fingerprint of
+//! `(level, completed_iters)`. If members disagree (torn generations, a
+//! stale slot from a larger gang), every member drops its checkpoint and
+//! the attempt restarts fresh — a consistent restart is always preferred
+//! over an inconsistent resume. A consistent resume is *bitwise* identical
+//! to an uninterrupted solve (the PR 2 contract), which the load test
+//! verifies digest-for-digest.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use diffreg_comm::{
+    run_gang, run_threaded, ChaosComm, ChaosConfig, Comm, CommEvent, ThreadComm, Timers,
+};
+use diffreg_core::{
+    register_with_continuation_checkpointed_hooked, CheckpointStore, RegistrationConfig,
+};
+use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
+use diffreg_optim::{NewtonCursor, NewtonOptions};
+use diffreg_pfft::PencilFft;
+use diffreg_telemetry::doctor::write_trace_bundle;
+use diffreg_telemetry::{
+    set_trace_enabled, take_thread_trace, ConvergenceLog, IterRecord, MetricsRegistry,
+    ThreadTrace,
+};
+use diffreg_transport::{SemiLagrangian, Workspace};
+
+use crate::faults::{AttemptFaults, FaultInjector};
+use crate::job::{
+    decode_intake, encode_intake, fnv_fold_u64, JobId, JobRecord, JobResult, JobSpec, JobState,
+    RetryPolicy, FNV_OFFSET,
+};
+use crate::scheduler::{plan_round, Assignment};
+
+/// Locks a mutex, riding through poisoning (a contained gang kill may have
+/// unwound while holding a side-store lock; the data is still consistent —
+/// each protected value is only ever appended to or overwritten whole).
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission control: jobs beyond this many waiting (queued + backed
+    /// off) are rejected at intake.
+    pub queue_capacity: usize,
+    /// Retry backoff policy (rounds).
+    pub retry: RetryPolicy,
+    /// Graceful degradation: once a job has failed this many attempts
+    /// without ever resuming from a checkpoint, halve its gang size.
+    pub degrade_after: u32,
+    /// Gang watchdog — turns a stalled or orphaned gang collective into a
+    /// contained timeout failure instead of a pool hang.
+    pub watchdog: Option<Duration>,
+    /// When set, per-job checkpoint stores are file-backed under this
+    /// directory (exercising the hardened DRCK format on disk); otherwise
+    /// they are shared in-memory stores.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Record one job's gang through the span/event tracer so
+    /// [`ServeHarness::write_traced_job_bundle`] can emit a doctor-readable
+    /// trace bundle.
+    pub trace_job: Option<JobId>,
+    /// Sleep per empty round while intake is open (keeps an idle pool from
+    /// hot-spinning).
+    pub idle_sleep: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            retry: RetryPolicy::default(),
+            degrade_after: 2,
+            watchdog: Some(Duration::from_secs(30)),
+            checkpoint_dir: None,
+            trace_job: None,
+            idle_sleep: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One streamed solver-progress sample (gang rank 0 of the owning gang
+/// forwards every Newton iteration as it lands).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Job id.
+    pub job: JobId,
+    /// 1-based attempt.
+    pub attempt: u32,
+    /// β-continuation level.
+    pub level: usize,
+    /// Accepted Newton iterations completed at this level.
+    pub iter: usize,
+    /// Objective value.
+    pub objective: f64,
+    /// Gradient norm.
+    pub grad_norm: f64,
+}
+
+/// Final, replicated summary of one `serve_pool` run. Every pool rank
+/// returns an identical value — tests assert this replication invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Jobs rejected at admission, in intake order.
+    pub rejected: Vec<JobId>,
+    /// Final job table.
+    pub records: BTreeMap<JobId, JobRecord>,
+}
+
+impl ServeSummary {
+    /// Count of jobs in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.records.values().filter(|r| r.state == state).count()
+    }
+
+    /// Zero-loss invariant: every admitted job reached a *deliberate*
+    /// terminal state.
+    pub fn all_accounted_for(&self) -> bool {
+        self.records.values().all(|r| r.state.is_terminal())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attempt reports (the outcome-allgather wire format)
+// ---------------------------------------------------------------------------
+
+const KIND_IDLE: u64 = 0;
+const KIND_OK: u64 = 1;
+const KIND_FAIL: u64 = 2;
+
+const REASON_KILL: u64 = 1;
+const REASON_TIMEOUT: u64 = 2;
+const REASON_PEER: u64 = 3;
+const REASON_OTHER: u64 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AttemptReport {
+    kind: u64,
+    job: JobId,
+    reason: u64,
+    digest: u64,
+    mismatch_bits: u64,
+    resumed: bool,
+    fell_back: bool,
+}
+
+impl AttemptReport {
+    fn idle() -> Self {
+        Self {
+            kind: KIND_IDLE,
+            job: 0,
+            reason: 0,
+            digest: 0,
+            mismatch_bits: 0,
+            resumed: false,
+            fell_back: false,
+        }
+    }
+
+    fn encode(&self) -> Vec<u64> {
+        vec![
+            self.kind,
+            self.job,
+            self.reason,
+            self.digest,
+            self.mismatch_bits,
+            u64::from(self.resumed),
+            u64::from(self.fell_back),
+        ]
+    }
+
+    fn decode(w: &[u64]) -> Self {
+        Self {
+            kind: w[0],
+            job: w[1],
+            reason: w[2],
+            digest: w[3],
+            mismatch_bits: w[4],
+            resumed: w[5] == 1,
+            fell_back: w[6] == 1,
+        }
+    }
+}
+
+/// Maps a contained panic payload to a failure-reason code.
+fn classify_failure(payload: &str) -> u64 {
+    let p = payload.to_lowercase();
+    if p.contains("injected kill") {
+        REASON_KILL
+    } else if p.contains("timeout") || p.contains("watchdog") {
+        REASON_TIMEOUT
+    } else if p.contains("peer") {
+        REASON_PEER
+    } else {
+        REASON_OTHER
+    }
+}
+
+fn reason_label(reason: u64) -> &'static str {
+    match reason {
+        REASON_KILL => "kill",
+        REASON_TIMEOUT => "timeout",
+        REASON_PEER => "peer-gone",
+        _ => "other",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------------
+
+/// Captured per-gang-rank traces of the traced job, keyed
+/// `(attempt, gang rank)` — later attempts supersede earlier ones when the
+/// bundle is written.
+type TraceMap = BTreeMap<(u32, usize), (ThreadTrace, Vec<CommEvent>)>;
+
+/// Shared state of one serving deployment: submission inboxes, per-job
+/// checkpoint stores, the progress stream, and the metrics dashboard.
+///
+/// Clone freely — clones share state. Submit and cancel from any thread
+/// (including while the pool is running); call
+/// [`serve_pool`](Self::serve_pool) from every rank of a `run_threaded`
+/// world.
+#[derive(Clone)]
+pub struct ServeHarness {
+    cfg: ServeConfig,
+    injector: Arc<dyn FaultInjector>,
+    inbox: Arc<Mutex<Vec<JobSpec>>>,
+    cancel_inbox: Arc<Mutex<Vec<JobId>>>,
+    intake_open: Arc<AtomicBool>,
+    stores: Arc<Mutex<HashMap<JobId, CheckpointStore>>>,
+    progress: Arc<Mutex<Vec<ProgressEvent>>>,
+    logs: Arc<Mutex<HashMap<JobId, ConvergenceLog>>>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    traces: Arc<Mutex<TraceMap>>,
+}
+
+impl ServeHarness {
+    /// A new deployment with the given config and fault plan (use
+    /// [`NoFaults`](crate::faults::NoFaults) for production behavior).
+    pub fn new(cfg: ServeConfig, injector: Arc<dyn FaultInjector>) -> Self {
+        Self {
+            cfg,
+            injector,
+            inbox: Arc::new(Mutex::new(Vec::new())),
+            cancel_inbox: Arc::new(Mutex::new(Vec::new())),
+            intake_open: Arc::new(AtomicBool::new(true)),
+            stores: Arc::new(Mutex::new(HashMap::new())),
+            progress: Arc::new(Mutex::new(Vec::new())),
+            logs: Arc::new(Mutex::new(HashMap::new())),
+            metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
+            traces: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Enqueues a job for admission at the pool's next intake round.
+    pub fn submit(&self, spec: JobSpec) {
+        lock(&self.inbox).push(spec);
+    }
+
+    /// Requests cancellation of `id` (applied at the next intake round;
+    /// too late once the job completed).
+    pub fn cancel(&self, id: JobId) {
+        lock(&self.cancel_inbox).push(id);
+    }
+
+    /// Closes intake: once the inboxes drain and every admitted job reaches
+    /// a terminal state, `serve_pool` returns on all ranks.
+    pub fn close_intake(&self) {
+        self.intake_open.store(false, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the streamed progress events so far.
+    pub fn progress(&self) -> Vec<ProgressEvent> {
+        lock(&self.progress).clone()
+    }
+
+    /// Per-job convergence log (iteration records plus serve-side events:
+    /// attempts, resumes, fallbacks, checkpoint drops).
+    pub fn job_log(&self, id: JobId) -> Option<ConvergenceLog> {
+        lock(&self.logs).get(&id).cloned()
+    }
+
+    /// The dashboard rendered in Prometheus text exposition format
+    /// (deterministic: counters and histograms derive only from the
+    /// replicated schedule; only the latency histograms' *values* are
+    /// wall-clock).
+    pub fn render_prometheus(&self) -> String {
+        lock(&self.metrics).render_prometheus()
+    }
+
+    /// A named counter from the dashboard.
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.metrics).counter(name).unwrap_or(0)
+    }
+
+    /// The checkpoint store backing `job` (shared across pool ranks;
+    /// created on first use). `Disabled` for jobs that never checkpoint.
+    pub fn store_for(&self, spec: &JobSpec) -> CheckpointStore {
+        if spec.checkpoint_every == 0 {
+            return CheckpointStore::Disabled;
+        }
+        let mut map = lock(&self.stores);
+        map.entry(spec.id)
+            .or_insert_with(|| match &self.cfg.checkpoint_dir {
+                Some(dir) => CheckpointStore::file(dir.join(format!("job{}", spec.id))),
+                None => CheckpointStore::memory(),
+            })
+            .clone()
+    }
+
+    /// Writes the traced job's final attempt as a doctor-readable trace
+    /// bundle (`trace.json`, `events-rank*.jsonl`, `metrics.prom`). Call
+    /// after the pool has drained. Returns the gang size written, or 0 when
+    /// nothing was traced.
+    pub fn write_traced_job_bundle(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let map = lock(&self.traces);
+        let Some(last_attempt) = map.keys().map(|(a, _)| *a).max() else {
+            return Ok(0);
+        };
+        let mut traces: Vec<(usize, ThreadTrace)> = Vec::new();
+        let mut events: Vec<(usize, Vec<CommEvent>)> = Vec::new();
+        for ((a, rank), (t, e)) in map.iter() {
+            if *a == last_attempt {
+                traces.push((*rank, t.clone()));
+                events.push((*rank, e.clone()));
+            }
+        }
+        let metrics = lock(&self.metrics).clone();
+        write_trace_bundle(dir, &traces, &events, Some(&metrics))?;
+        Ok(traces.len())
+    }
+
+    // -- the SPMD loop ------------------------------------------------------
+
+    /// Runs the serving loop on this pool rank. Call from **every** rank of
+    /// a `run_threaded` world; returns when intake is closed and every
+    /// admitted job is terminal. All ranks return the identical summary.
+    pub fn serve_pool(&self, world: &ThreadComm) -> ServeSummary {
+        let me = world.rank();
+        let pool = world.size();
+        let mut table: BTreeMap<JobId, JobRecord> = BTreeMap::new();
+        let mut rejected: Vec<JobId> = Vec::new();
+        let mut submit_times: HashMap<JobId, Instant> = HashMap::new();
+        let mut round: u64 = 0;
+        if me == 0 {
+            let mut m = lock(&self.metrics);
+            m.set_gauge("serve_pool_ranks", pool as f64);
+        }
+        if self.cfg.trace_job.is_some() {
+            set_trace_enabled(true);
+        }
+
+        loop {
+            // 1. intake: rank 0 drains, everyone applies the same blob.
+            let mut wire: Vec<u8> = if me == 0 {
+                let specs: Vec<JobSpec> = std::mem::take(&mut *lock(&self.inbox));
+                let cancels: Vec<JobId> = std::mem::take(&mut *lock(&self.cancel_inbox));
+                let open = self.intake_open.load(Ordering::SeqCst);
+                encode_intake(&specs, &cancels, open)
+            } else {
+                Vec::new()
+            };
+            world.broadcast(0, &mut wire);
+            let (specs, cancels, open) = decode_intake(&wire);
+
+            for spec in specs {
+                let id = spec.id;
+                if me == 0 {
+                    lock(&self.metrics).inc_counter("serve_jobs_submitted_total", 1);
+                }
+                let waiting = table.values().filter(|r| r.state.is_waiting()).count();
+                if waiting >= self.cfg.queue_capacity || table.contains_key(&id) {
+                    rejected.push(id);
+                    if me == 0 {
+                        lock(&self.metrics).inc_counter("serve_jobs_rejected_total", 1);
+                    }
+                    continue;
+                }
+                if me == 0 {
+                    submit_times.insert(id, Instant::now());
+                }
+                table.insert(id, JobRecord::new(spec, round, pool));
+            }
+            for id in cancels {
+                if let Some(rec) = table.get_mut(&id) {
+                    match rec.state {
+                        JobState::Queued | JobState::Backoff { .. } => {
+                            rec.state = JobState::Cancelled;
+                            rec.finish_round = Some(round);
+                            if me == 0 {
+                                lock(&self.metrics).inc_counter("serve_jobs_cancelled_total", 1);
+                            }
+                        }
+                        JobState::Running => rec.cancel_requested = true,
+                        _ => {}
+                    }
+                }
+            }
+
+            // 2. backoff release + deadline sweep.
+            for rec in table.values_mut() {
+                if let JobState::Backoff { until_round } = rec.state {
+                    if round >= until_round {
+                        rec.state = JobState::Queued;
+                    }
+                }
+                if rec.state.is_waiting() {
+                    if let Some(d) = rec.spec.deadline_rounds {
+                        if round.saturating_sub(rec.submit_round) >= d {
+                            rec.state = JobState::Expired;
+                            rec.finish_round = Some(round);
+                            if me == 0 {
+                                lock(&self.metrics).inc_counter("serve_jobs_expired_total", 1);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 3. termination: replicated decision (open and the table are
+            // identical on every rank).
+            if !open && table.values().all(|r| r.state.is_terminal()) {
+                break;
+            }
+
+            // 4. plan, mark running, account attempts.
+            let plan = plan_round(&table, pool);
+            for a in &plan {
+                if let Some(rec) = table.get_mut(&a.job) {
+                    rec.state = JobState::Running;
+                    rec.attempts += 1;
+                    if rec.first_start_round.is_none() {
+                        rec.first_start_round = Some(round);
+                        if me == 0 {
+                            if let Some(t0) = submit_times.get(&a.job) {
+                                let wait = t0.elapsed().as_secs_f64();
+                                lock(&self.metrics).observe("serve_queue_wait_seconds", wait);
+                            }
+                        }
+                    }
+                    if me == 0 {
+                        lock(&self.metrics).inc_counter("serve_attempts_total", 1);
+                    }
+                }
+            }
+            if me == 0 {
+                let mut m = lock(&self.metrics);
+                let waiting = table.values().filter(|r| r.state.is_waiting()).count();
+                m.set_gauge("serve_queue_depth", waiting as f64);
+                m.set_gauge("serve_running_jobs", plan.len() as f64);
+                m.inc_counter("serve_rounds_total", 1);
+            }
+
+            if plan.is_empty() && open {
+                std::thread::sleep(self.cfg.idle_sleep);
+            }
+
+            // 5. split into gangs (the plan IS the coloring) and execute.
+            let mine = plan.iter().position(|a| a.ranks.contains(&me));
+            let color = mine.unwrap_or(plan.len());
+            let sub = world.split(color, me);
+            let report = match mine {
+                Some(ai) => {
+                    let a = &plan[ai];
+                    match table.get(&a.job) {
+                        Some(rec) => self.run_attempt(sub, a, rec),
+                        None => AttemptReport::idle(),
+                    }
+                }
+                None => {
+                    drop(sub);
+                    AttemptReport::idle()
+                }
+            };
+
+            // 6. outcome allgather + deterministic fold.
+            let gathered = world.allgather(report.encode());
+            let reports: Vec<AttemptReport> =
+                gathered.iter().map(|w| AttemptReport::decode(w)).collect();
+            self.fold_outcomes(&mut table, &plan, &reports, round, me, &submit_times);
+
+            round += 1;
+        }
+
+        if self.cfg.trace_job.is_some() {
+            set_trace_enabled(false);
+        }
+        if me == 0 {
+            let mut m = lock(&self.metrics);
+            m.set_gauge("serve_queue_depth", 0.0);
+            m.set_gauge("serve_running_jobs", 0.0);
+        }
+        ServeSummary { rounds: round, rejected, records: table }
+    }
+
+    /// Folds one round's allgathered gang outcomes into the replicated
+    /// table. Pure with respect to the replicated inputs; rank 0
+    /// additionally records metrics.
+    fn fold_outcomes(
+        &self,
+        table: &mut BTreeMap<JobId, JobRecord>,
+        plan: &[Assignment],
+        reports: &[AttemptReport],
+        round: u64,
+        me: usize,
+        submit_times: &HashMap<JobId, Instant>,
+    ) {
+        for a in plan {
+            let members: Vec<&AttemptReport> = a.ranks.iter().map(|r| &reports[*r]).collect();
+            let Some(rec) = table.get_mut(&a.job) else { continue };
+            let all_ok = members.iter().all(|m| m.kind == KIND_OK);
+            if all_ok {
+                let lead = members[0];
+                if lead.resumed {
+                    rec.resumed_attempts += 1;
+                }
+                if lead.fell_back {
+                    rec.fallbacks += 1;
+                }
+                rec.state = JobState::Completed;
+                rec.finish_round = Some(round);
+                rec.result = Some(JobResult {
+                    digest: lead.digest,
+                    final_mismatch_bits: lead.mismatch_bits,
+                    gang_size: a.ranks.len(),
+                    attempt: rec.attempts,
+                    resumed: lead.resumed,
+                });
+                if me == 0 {
+                    let mut m = lock(&self.metrics);
+                    m.inc_counter("serve_jobs_completed_total", 1);
+                    if lead.resumed {
+                        m.inc_counter("serve_jobs_recovered_total", 1);
+                    }
+                    if lead.fell_back {
+                        m.inc_counter("serve_checkpoint_fallback_total", 1);
+                    }
+                    if let Some(t0) = submit_times.get(&a.job) {
+                        m.observe("serve_job_e2e_seconds", t0.elapsed().as_secs_f64());
+                    }
+                }
+                continue;
+            }
+
+            // Failure: pick the highest-precedence cause among the members
+            // (kill > timeout > peer-gone > other).
+            let reason = members
+                .iter()
+                .filter(|m| m.kind == KIND_FAIL && m.reason != 0)
+                .map(|m| m.reason)
+                .min()
+                .unwrap_or(REASON_OTHER);
+            rec.last_failure = Some(reason_label(reason).to_string());
+            if me == 0 {
+                lock(&self.metrics).inc_counter(
+                    &format!("serve_attempts_failed_total{{reason=\"{}\"}}", reason_label(reason)),
+                    1,
+                );
+            }
+            let deadline_hit = rec
+                .spec
+                .deadline_rounds
+                .is_some_and(|d| round.saturating_sub(rec.submit_round) >= d);
+            if rec.cancel_requested {
+                rec.state = JobState::Cancelled;
+                rec.finish_round = Some(round);
+                if me == 0 {
+                    lock(&self.metrics).inc_counter("serve_jobs_cancelled_total", 1);
+                }
+            } else if deadline_hit {
+                rec.state = JobState::Expired;
+                rec.finish_round = Some(round);
+                if me == 0 {
+                    lock(&self.metrics).inc_counter("serve_jobs_expired_total", 1);
+                }
+            } else if rec.attempts > rec.spec.max_retries {
+                rec.state = JobState::Failed;
+                rec.finish_round = Some(round);
+                if me == 0 {
+                    lock(&self.metrics).inc_counter("serve_jobs_failed_total", 1);
+                }
+            } else {
+                // Retry. Keep the gang size while checkpoint resume has a
+                // chance (the decomposition must match for a bitwise
+                // resume); degrade only a job that keeps dying without ever
+                // resuming.
+                if me == 0 {
+                    lock(&self.metrics).inc_counter("serve_jobs_retried_total", 1);
+                }
+                if rec.attempts >= self.cfg.degrade_after
+                    && rec.resumed_attempts == 0
+                    && rec.gang_size > 1
+                {
+                    rec.gang_size /= 2;
+                    if me == 0 {
+                        lock(&self.metrics).inc_counter("serve_jobs_degraded_total", 1);
+                    }
+                }
+                let delay = self.cfg.retry.backoff_rounds(a.job, rec.attempts);
+                rec.state = JobState::Backoff { until_round: round + delay };
+            }
+        }
+    }
+
+    /// Runs one gang attempt under containment. `sub` is this rank's gang
+    /// communicator from the round's split; the returned report is this
+    /// member's contribution to the outcome allgather.
+    fn run_attempt(&self, sub: ThreadComm, a: &Assignment, rec: &JobRecord) -> AttemptReport {
+        let spec = rec.spec.clone();
+        let attempt = rec.attempts;
+        let gang_size = a.ranks.len();
+        let faults = self.injector.faults(spec.id, attempt);
+        let store = self.store_for(&spec);
+        let tracing = self.cfg.trace_job == Some(spec.id);
+        sub.set_timeout(self.cfg.watchdog);
+        if tracing {
+            sub.set_event_recording(true);
+            let _ = take_thread_trace(); // drop spans from earlier attempts
+        }
+
+        let outcome = run_gang(sub, |gang| {
+            let chaos = ChaosComm::new(gang, chaos_config(&faults, &spec));
+            // Torn-write drill: gang rank 0 tears every member's current
+            // generation before anyone reads, so all members fall back to
+            // the same (previous) generation together.
+            if faults.corrupt_checkpoint && chaos.rank() == 0 {
+                for r in 0..gang_size {
+                    store.inject_corruption(r);
+                }
+            }
+            chaos.barrier();
+
+            // Resume agreement: all-or-nothing, same-point-or-fresh.
+            let my = store.load_for_resume(chaos.rank());
+            let fp = my
+                .checkpoint
+                .as_ref()
+                .map(|c| 1.0 + c.level as f64 * 1.0e9 + c.completed_iters as f64)
+                .unwrap_or(0.0);
+            let (lo, hi) = (chaos.min_f64(fp), chaos.max_f64(fp));
+            let inconsistent = lo.to_bits() != hi.to_bits();
+            if inconsistent {
+                store.clear(chaos.rank());
+            }
+            chaos.barrier();
+            let resumed = !inconsistent && my.checkpoint.is_some();
+            let fell_back = !inconsistent && my.fell_back;
+
+            if chaos.rank() == 0 {
+                let mut logs = lock(&self.logs);
+                let log = logs
+                    .entry(spec.id)
+                    .or_insert_with(|| ConvergenceLog::new(format!("job{}", spec.id)));
+                log.event(
+                    "serve-attempt",
+                    0,
+                    attempt as usize,
+                    format!("gang {gang_size}, resumed {resumed}, fell_back {fell_back}"),
+                );
+                if inconsistent {
+                    log.event(
+                        "serve-checkpoint-drop",
+                        0,
+                        attempt as usize,
+                        "inconsistent generations across the gang; restarting fresh",
+                    );
+                } else if fell_back {
+                    log.event(
+                        "serve-fallback",
+                        0,
+                        attempt as usize,
+                        "current generation torn; resumed from previous",
+                    );
+                } else if resumed {
+                    log.event("serve-resume", 0, attempt as usize, "resumed from checkpoint");
+                }
+            }
+
+            let betas = spec.betas.clone();
+            let (digest, mismatch_bits) = solve_once(&chaos, &spec, &store, |level, cur| {
+                if chaos.rank() == 0 {
+                    lock(&self.progress).push(ProgressEvent {
+                        job: spec.id,
+                        attempt,
+                        level,
+                        iter: cur.completed_iters,
+                        objective: cur.objective,
+                        grad_norm: cur.grad_norm,
+                    });
+                    let rel = if cur.g0norm.is_finite() && cur.g0norm > 0.0 {
+                        cur.grad_norm / cur.g0norm
+                    } else {
+                        1.0
+                    };
+                    let mut logs = lock(&self.logs);
+                    if let Some(log) = logs.get_mut(&spec.id) {
+                        log.record(IterRecord {
+                            level,
+                            beta: betas.get(level).copied().unwrap_or(f64::NAN),
+                            iter: cur.completed_iters,
+                            objective: cur.objective,
+                            grad_norm: cur.grad_norm,
+                            rel_grad: rel,
+                            pcg_iters: cur.matvecs,
+                            eta: cur.eta,
+                            step_length: cur.step_length,
+                        });
+                    }
+                }
+            });
+
+            if tracing {
+                let events = gang.take_events();
+                let trace = take_thread_trace();
+                lock(&self.traces).insert((attempt, gang.rank()), (trace, events));
+            }
+            (digest, mismatch_bits, resumed, fell_back)
+        });
+
+        match outcome {
+            Ok((digest, mismatch_bits, resumed, fell_back)) => AttemptReport {
+                kind: KIND_OK,
+                job: spec.id,
+                reason: 0,
+                digest,
+                mismatch_bits,
+                resumed,
+                fell_back,
+            },
+            Err(failure) => AttemptReport {
+                kind: KIND_FAIL,
+                job: spec.id,
+                reason: classify_failure(&failure.payload),
+                digest: 0,
+                mismatch_bits: 0,
+                resumed: false,
+                fell_back: false,
+            },
+        }
+    }
+}
+
+/// Builds the gang's chaos schedule from the attempt's fault plan.
+fn chaos_config(faults: &AttemptFaults, spec: &JobSpec) -> ChaosConfig {
+    let mut cfg = ChaosConfig::seeded(faults.seed ^ spec.id);
+    if let Some((rank, epoch)) = faults.kill_at_epoch {
+        cfg = cfg.with_kill_at_epoch(rank, epoch);
+    }
+    if let Some((rank, epoch, ms)) = faults.stall_at_epoch {
+        cfg = cfg.with_stall_at_epoch(rank, epoch, ms);
+    }
+    if let Some((prob, max_us)) = faults.latency {
+        cfg = cfg.with_latency(prob, max_us);
+    }
+    cfg
+}
+
+/// The serving runtime's synthetic problem (paper §IV-A1): the template is
+/// a sin² bump sum and the reference is the template transported by a known
+/// velocity of the given amplitude.
+pub fn synthetic_pair<C: Comm>(ws: &Workspace<C>, amplitude: f64) -> (ScalarField, ScalarField) {
+    let grid = ws.grid();
+    let rho_t = ScalarField::from_fn(&grid, ws.block(), |x| {
+        (x[0].sin().powi(2) + x[1].sin().powi(2) + x[2].sin().powi(2)) / 3.0
+    });
+    let v_star = VectorField::from_fn(&grid, ws.block(), |x| {
+        [
+            amplitude * x[0].cos() * x[1].sin(),
+            amplitude * x[1].cos() * x[0].sin(),
+            amplitude * x[0].cos() * x[2].sin(),
+        ]
+    });
+    let sl = SemiLagrangian::new(ws, &v_star, 4);
+    let rho_r = sl.solve_state(ws, &rho_t).pop().unwrap_or(rho_t.clone());
+    (rho_t, rho_r)
+}
+
+/// Solves `spec`'s problem on `comm` (one gang) and returns
+/// `(digest, final_mismatch_bits)`. The digest folds every gang rank's
+/// velocity slab bits in rank order plus the final mismatch — equal digests
+/// mean bitwise-equal transformations.
+fn solve_once<C: Comm>(
+    comm: &C,
+    spec: &JobSpec,
+    store: &CheckpointStore,
+    hook: impl FnMut(usize, &NewtonCursor),
+) -> (u64, u64) {
+    let grid = Grid::cubic(spec.grid_n);
+    let decomp = Decomp::new(grid, comm.size());
+    let fft = PencilFft::new(comm, decomp);
+    let timers = Timers::new();
+    let ws = Workspace::new(comm, &decomp, &fft, &timers);
+    let (rho_t, rho_r) = synthetic_pair(&ws, spec.amplitude);
+    let cfg = RegistrationConfig {
+        nt: spec.nt,
+        checkpoint_every: spec.checkpoint_every,
+        newton: NewtonOptions { max_iter: spec.newton_iters, ..Default::default() },
+        ..Default::default()
+    };
+    let (out, _reports) = register_with_continuation_checkpointed_hooked(
+        &ws, &rho_t, &rho_r, cfg, &spec.betas, store, hook,
+    );
+    let mut local = FNV_OFFSET;
+    for c in 0..3 {
+        for x in out.velocity.comps[c].data() {
+            local = fnv_fold_u64(local, x.to_bits());
+        }
+    }
+    let all = comm.allgather(vec![local]);
+    let mut digest = FNV_OFFSET;
+    for part in &all {
+        digest = fnv_fold_u64(digest, part[0]);
+    }
+    digest = fnv_fold_u64(digest, out.final_mismatch.to_bits());
+    (digest, out.final_mismatch.to_bits())
+}
+
+/// Replays the collective sequence of one fresh (no-checkpoint) attempt of
+/// `spec` on a clean dedicated `gang_size`-rank world and returns how many
+/// collective epochs it executes. Epoch-keyed fault plans use this as their
+/// coordinate system: a kill at ~70% of the count lands inside the last
+/// continuation level, after checkpoints have been written but before the
+/// driver clears them on success.
+pub fn attempt_epoch_count(spec: &JobSpec, gang_size: usize) -> u64 {
+    let spec = spec.clone();
+    let counts = run_threaded(gang_size, move |comm| {
+        let chaos = ChaosComm::new(comm, ChaosConfig::seeded(0));
+        chaos.barrier();
+        let fp = 0.0f64;
+        let _ = chaos.min_f64(fp);
+        let _ = chaos.max_f64(fp);
+        chaos.barrier();
+        let _ = solve_once(&chaos, &spec, &CheckpointStore::Disabled, |_, _| {});
+        chaos.epochs_executed()
+    });
+    counts[0]
+}
+
+/// Solves `spec` uninterrupted (no chaos, no checkpoints) on a dedicated
+/// `gang_size`-rank world and returns `(digest, final_mismatch_bits)` — the
+/// reference a recovered job's served result must match bitwise.
+pub fn reference_digest(spec: &JobSpec, gang_size: usize) -> (u64, u64) {
+    let spec = spec.clone();
+    let per_rank = run_threaded(gang_size, move |comm| {
+        solve_once(comm, &spec, &CheckpointStore::Disabled, |_, _| {})
+    });
+    per_rank[0]
+}

@@ -1,0 +1,150 @@
+//! Deterministic gang scheduler: a pure packing function from the
+//! replicated job table to this round's gang assignments.
+//!
+//! Every pool rank evaluates [`plan_round`] on its identical table copy and
+//! obtains the identical plan — the gang layout IS the `Comm::split`
+//! coloring, so no rank ever needs to be told what the others decided.
+//!
+//! Ordering is fair-share first-fit with backfill:
+//! 1. higher [`JobSpec::priority`] first;
+//! 2. among equal priorities, tenants that have consumed fewer attempt·rank
+//!    slots so far come first (fair share);
+//! 3. FIFO by submission round, then by id (total order — no ties).
+//!
+//! A job that does not fit in the remaining ranks is skipped and smaller
+//! jobs behind it may backfill, so one wide job cannot idle the pool.
+
+use std::collections::BTreeMap;
+
+use crate::job::{JobId, JobRecord, JobState};
+
+/// One gang assignment: the job and the ascending world ranks that form its
+/// gang. A member's gang rank is its position in `ranks`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The job to run.
+    pub job: JobId,
+    /// World ranks of the gang, ascending; index = gang rank.
+    pub ranks: Vec<usize>,
+}
+
+/// Attempt·rank slots each tenant has consumed so far — the fair-share
+/// usage metric (a 4-rank attempt costs four times a 1-rank attempt).
+fn tenant_usage(table: &BTreeMap<JobId, JobRecord>) -> BTreeMap<&str, u64> {
+    let mut usage: BTreeMap<&str, u64> = BTreeMap::new();
+    for rec in table.values() {
+        *usage.entry(rec.spec.tenant.as_str()).or_insert(0) +=
+            u64::from(rec.attempts) * rec.gang_size as u64;
+    }
+    usage
+}
+
+/// Plans one scheduling round: packs `Queued` jobs into gangs over `pool`
+/// ranks. Pure and deterministic — equal inputs yield the identical plan on
+/// every rank.
+pub fn plan_round(table: &BTreeMap<JobId, JobRecord>, pool: usize) -> Vec<Assignment> {
+    let usage = tenant_usage(table);
+    let mut ready: Vec<&JobRecord> =
+        table.values().filter(|r| r.state == JobState::Queued).collect();
+    ready.sort_by_key(|r| {
+        (
+            std::cmp::Reverse(r.spec.priority),
+            usage.get(r.spec.tenant.as_str()).copied().unwrap_or(0),
+            r.submit_round,
+            r.spec.id,
+        )
+    });
+
+    let mut plan = Vec::new();
+    let mut next_rank = 0usize;
+    for rec in ready {
+        let g = rec.gang_size.clamp(1, pool);
+        if next_rank + g > pool {
+            continue; // does not fit this round; smaller jobs may backfill
+        }
+        plan.push(Assignment { job: rec.spec.id, ranks: (next_rank..next_rank + g).collect() });
+        next_rank += g;
+        if next_rank == pool {
+            break;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn table(recs: Vec<JobRecord>) -> BTreeMap<JobId, JobRecord> {
+        recs.into_iter().map(|r| (r.spec.id, r)).collect()
+    }
+
+    fn queued(id: JobId, gang: usize, prio: u8, tenant: &str, round: u64) -> JobRecord {
+        JobRecord::new(
+            JobSpec::new(id, 16).with_gang(gang).with_priority(prio).with_tenant(tenant),
+            round,
+            4,
+        )
+    }
+
+    #[test]
+    fn packs_by_priority_then_fifo_and_backfills() {
+        // Job 1 (wide, low prio) cannot fit after job 2 (high prio, 2 ranks)
+        // + job 3 (2 ranks); job 4 (1 rank) backfills nothing — pool full.
+        let t = table(vec![
+            queued(1, 4, 0, "a", 0),
+            queued(2, 2, 5, "a", 1),
+            queued(3, 2, 0, "b", 2),
+            queued(4, 1, 0, "c", 3),
+        ]);
+        let plan = plan_round(&t, 4);
+        assert_eq!(
+            plan,
+            vec![
+                Assignment { job: 2, ranks: vec![0, 1] },
+                Assignment { job: 3, ranks: vec![2, 3] },
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_job_runs_alone_and_small_jobs_backfill_around_it() {
+        let t = table(vec![queued(1, 4, 0, "a", 0), queued(2, 1, 0, "b", 1)]);
+        let plan = plan_round(&t, 4);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].job, 1);
+        assert_eq!(plan[0].ranks, vec![0, 1, 2, 3]);
+
+        // Two 3-wide jobs cannot co-schedule on 4 ranks; the 1-wide job
+        // behind them backfills the leftover rank.
+        let t2 = table(vec![queued(1, 3, 0, "a", 0), queued(2, 3, 0, "b", 1), queued(3, 1, 0, "c", 2)]);
+        let plan2 = plan_round(&t2, 4);
+        assert_eq!(plan2.len(), 2);
+        assert_eq!(plan2[0].job, 1);
+        assert_eq!(plan2[1].job, 3, "small job must backfill past the too-wide one");
+        assert_eq!(plan2[1].ranks, vec![3]);
+    }
+
+    #[test]
+    fn fair_share_prefers_the_lighter_tenant() {
+        let mut heavy = queued(1, 2, 0, "heavy", 0);
+        heavy.attempts = 5; // tenant "heavy" has burned 10 rank·attempts
+        let t = table(vec![heavy, queued(2, 2, 0, "light", 9)]);
+        // Despite submitting later, the light tenant goes first.
+        let plan = plan_round(&t, 2);
+        assert_eq!(plan[0].job, 2);
+    }
+
+    #[test]
+    fn running_and_terminal_jobs_are_not_replanned() {
+        let mut a = queued(1, 2, 0, "a", 0);
+        a.state = JobState::Running;
+        let mut b = queued(2, 2, 0, "a", 0);
+        b.state = JobState::Completed;
+        let t = table(vec![a, b, queued(3, 2, 0, "a", 1)]);
+        let plan = plan_round(&t, 4);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].job, 3);
+    }
+}
