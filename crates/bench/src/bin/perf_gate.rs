@@ -20,6 +20,11 @@
 //!   medians (measured on host `vm` before the half-spectrum/SoA rewrite;
 //!   `BENCH_kernels.json` is rebased to the fast path, so the slow-path
 //!   reference lives here as constants). Advisory on other hosts.
+//! * `perf_gate recorder <current.json>` — flight-recorder overhead check:
+//!   derive the per-event cost from the `telemetry/recorder_overhead/{on,off}`
+//!   median gap and compare it against a nanosecond budget (default 2 µs,
+//!   `--budget-ns`). Missing records fail; a budget breach is advisory
+//!   (wall-clock verdicts are host-dependent).
 //! * `perf_gate selftest` — deterministic in-memory check (no timing) that
 //!   the gate logic passes identical suites, fails a 30% slowdown at the
 //!   25% threshold, never fails on speedups, flags missing records, and
@@ -29,7 +34,7 @@
 //! Used by `scripts/perf_gate.sh`; the checked-in baseline lives at
 //! `BENCH_kernels.json`.
 
-use diffreg_bench::kernels::{run_kernel_suite, K, WARMUP};
+use diffreg_bench::kernels::{run_kernel_suite, K, RECORDER_BENCH_EVENTS, WARMUP};
 use diffreg_telemetry::{compare_suites, BenchRecord, BenchSuite};
 use std::process::ExitCode;
 
@@ -209,6 +214,88 @@ fn speedup(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Default flight-recorder overhead budget, nanoseconds per offered event.
+/// Deliberately generous: the point is catching an accidental O(ring) or
+/// allocating fast path, not chasing single-digit nanoseconds.
+const RECORDER_BUDGET_NS: f64 = 2000.0;
+
+/// Per-event flight-recorder overhead from the on/off benchmark pair:
+/// `(median_on − median_off) / events`, in nanoseconds. Returns report
+/// lines, the overhead when both records exist, and failure messages
+/// (missing records, or a budget breach).
+fn recorder_report(suite: &BenchSuite, budget_ns: f64) -> (Vec<String>, Option<f64>, Vec<String>) {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    let on = suite.record("telemetry/recorder_overhead/on");
+    let off = suite.record("telemetry/recorder_overhead/off");
+    let (Some(on), Some(off)) = (on, off) else {
+        for (name, r) in [
+            ("telemetry/recorder_overhead/on", on),
+            ("telemetry/recorder_overhead/off", off),
+        ] {
+            if r.is_none() {
+                lines.push(format!("  MISS {name}: record absent from suite"));
+                failures.push(format!("{name}: record missing from current suite"));
+            }
+        }
+        return (lines, None, failures);
+    };
+    let per_event_ns =
+        (on.median_s() - off.median_s()).max(0.0) * 1e9 / RECORDER_BENCH_EVENTS as f64;
+    let ok = per_event_ns <= budget_ns;
+    lines.push(format!(
+        "  {} recorder overhead: {per_event_ns:.1} ns/event (on {:.6}s, off {:.6}s over {} events; budget {budget_ns:.0} ns)",
+        if ok { "OK  " } else { "OVER" },
+        on.median_s(),
+        off.median_s(),
+        RECORDER_BENCH_EVENTS,
+    ));
+    if !ok {
+        failures.push(format!(
+            "recorder overhead {per_event_ns:.1} ns/event exceeds the {budget_ns:.0} ns budget"
+        ));
+    }
+    (lines, Some(per_event_ns), failures)
+}
+
+fn recorder(args: &[String]) -> ExitCode {
+    let Some(current_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: perf_gate recorder <current.json> [--budget-ns 2000]");
+        return ExitCode::from(2);
+    };
+    let budget_ns = arg_f64(args, "--budget-ns", RECORDER_BUDGET_NS);
+    let current = match load(current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[perf_gate] {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (lines, _, failures) = recorder_report(&current, budget_ns);
+    println!("[perf_gate] flight-recorder overhead check:");
+    for l in &lines {
+        println!("{l}");
+    }
+    if failures.is_empty() {
+        println!("[perf_gate] recorder overhead PASS (within {budget_ns:.0} ns/event)");
+        return ExitCode::SUCCESS;
+    }
+    if failures.iter().any(|f| f.contains("missing")) {
+        // Structural: the bench fell out of the suite; always fail.
+        for f in &failures {
+            eprintln!("[perf_gate] recorder check FAIL: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    // Wall-clock budget verdicts are host-dependent: advisory, like the
+    // speedup gate off its seed host.
+    println!(
+        "[perf_gate] budget exceeded on host {}: advisory, not failing the build",
+        current.host
+    );
+    ExitCode::SUCCESS
+}
+
 /// Deterministic gate-logic check: no clocks, pure arithmetic.
 fn selftest() -> ExitCode {
     fn suite(scale: f64) -> BenchSuite {
@@ -301,6 +388,30 @@ fn selftest() -> ExitCode {
         failures.push("a missing gated record must fail the speedup gate");
     }
 
+    // Recorder-overhead check: a synthetic 500 ns/event gap passes the
+    // 2 µs budget, a 5 µs gap breaches it, and missing records are flagged.
+    let recorder_suite = |gap_ns: f64| {
+        let mut s = BenchSuite::new("kernels");
+        s.host = "selftest".into();
+        let off = 1.0e-3;
+        let on = off + gap_ns * 1e-9 * RECORDER_BENCH_EVENTS as f64;
+        s.push(BenchRecord::new("telemetry/recorder_overhead/on", vec![on, on, on]));
+        s.push(BenchRecord::new("telemetry/recorder_overhead/off", vec![off, off, off]));
+        s
+    };
+    let (_, within, ok_fail) = recorder_report(&recorder_suite(500.0), RECORDER_BUDGET_NS);
+    if !ok_fail.is_empty() || within.is_none_or(|ns| (ns - 500.0).abs() > 1.0) {
+        failures.push("a 500 ns/event recorder gap must pass the 2 us budget");
+    }
+    let (_, _, over_fail) = recorder_report(&recorder_suite(5000.0), RECORDER_BUDGET_NS);
+    if !over_fail.iter().any(|f| f.contains("exceeds")) {
+        failures.push("a 5 us/event recorder gap must breach the budget");
+    }
+    let (_, _, rec_miss) = recorder_report(&BenchSuite::new("kernels"), RECORDER_BUDGET_NS);
+    if rec_miss.len() != 2 {
+        failures.push("missing recorder records must be flagged");
+    }
+
     print!("{}", slow.render());
     if failures.is_empty() {
         println!("[perf_gate] selftest PASS (30% synthetic slowdown trips the 25% gate)");
@@ -319,12 +430,14 @@ fn main() -> ExitCode {
         Some("emit") => emit(&args),
         Some("check") => check(&args),
         Some("speedup") => speedup(&args),
+        Some("recorder") => recorder(&args),
         Some("selftest") => selftest(),
         _ => {
-            eprintln!("usage: perf_gate <emit|check|speedup|selftest> [options]");
+            eprintln!("usage: perf_gate <emit|check|speedup|recorder|selftest> [options]");
             eprintln!("  emit  --out results/kernels.json [--warmup N] [--samples K] [--sizes 32] [--inflate X]");
             eprintln!("  check <baseline.json> <current.json> [--threshold 0.25] [--strict-host]");
             eprintln!("  speedup <current.json> [--factor 2.0]");
+            eprintln!("  recorder <current.json> [--budget-ns 2000]");
             eprintln!("  selftest");
             ExitCode::from(2)
         }

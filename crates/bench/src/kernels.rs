@@ -16,7 +16,10 @@ use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
 use diffreg_interp::{ghosted, InterpMode, Kernel, ScatterPlan};
 use diffreg_optim::GaussNewtonProblem;
 use diffreg_pfft::{PencilFft, SpectralPath};
-use diffreg_telemetry::{BenchRecord, BenchSuite};
+use diffreg_telemetry::{
+    record_event, recorder_enabled, set_recorder_enabled, take_recorder, BenchRecord,
+    BenchSuite, RecKind,
+};
 use diffreg_testkit::bench_named;
 use diffreg_transport::{SemiLagrangian, Workspace};
 
@@ -166,6 +169,41 @@ fn bench_solver(suite: &mut BenchSuite, warmup: usize, k: usize) {
     });
 }
 
+/// Recorder-offer calls per sample in the `telemetry/recorder_overhead`
+/// benchmarks — the divisor that turns the on/off median gap into a
+/// per-event cost (`perf_gate recorder` uses it).
+pub const RECORDER_BENCH_EVENTS: u64 = 4096;
+
+/// The instrumented hot loop the flight-recorder overhead is measured on:
+/// cheap integer mixing plus one recorder offer per iteration, the shape of
+/// a solver inner loop with lifecycle markers.
+fn recorder_workload() {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..RECORDER_BENCH_EVENTS {
+        acc = acc.rotate_left(7) ^ i;
+        record_event(RecKind::Solver, "bench.recorder", acc & 0xffff, i);
+    }
+    std::hint::black_box(acc);
+}
+
+fn bench_recorder(suite: &mut BenchSuite, warmup: usize, k: usize) {
+    let was_on = recorder_enabled();
+    // "on": every offer goes through the ring (drained between samples so
+    // adaptive sampling keeps its steady-state stride). "off": the same
+    // loop pays only the enabled-check fast path.
+    set_recorder_enabled(true);
+    let _ = take_recorder();
+    push(suite, "telemetry/recorder_overhead/on", warmup, k, || {
+        recorder_workload();
+    });
+    let _ = take_recorder();
+    set_recorder_enabled(false);
+    push(suite, "telemetry/recorder_overhead/off", warmup, k, || {
+        recorder_workload();
+    });
+    set_recorder_enabled(was_on);
+}
+
 /// Runs the full kernel suite (warmup + K samples each), printing one JSON
 /// line per benchmark as it goes, and returns the suite in the canonical
 /// results schema. `sizes` controls the FFT/interpolation grid sweep (the
@@ -177,5 +215,6 @@ pub fn run_kernel_suite(warmup: usize, k: usize, sizes: &[usize]) -> BenchSuite 
     bench_interp(&mut suite, warmup, k, sizes);
     bench_transport(&mut suite, warmup, k);
     bench_solver(&mut suite, warmup, k);
+    bench_recorder(&mut suite, warmup, k);
     suite
 }

@@ -276,6 +276,55 @@ fn default_events_on() -> bool {
     })
 }
 
+/// Default comm-event log capacity from `DIFFREG_COMM_TAP_CAP`
+/// (unset/empty/0 = unbounded, the historical behavior). A finite cap turns
+/// the per-rank event log into a flight-recorder ring: the newest events are
+/// kept, the oldest are evicted, and every eviction is counted exactly.
+fn default_event_cap() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DIFFREG_COMM_TAP_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Per-rank comm-event log: unbounded by default, a bounded ring when a cap
+/// is set. Shared (behind `Arc<Mutex<_>>`) between an endpoint and every
+/// sub-communicator split off it, so one rank's events form one stream.
+#[derive(Debug)]
+struct EventLog {
+    buf: VecDeque<CommEvent>,
+    /// Maximum retained events; 0 = unbounded.
+    cap: usize,
+    /// Oldest-event evictions since construction (never reset — exact
+    /// lifetime drop accounting for the flight recorder).
+    dropped: u64,
+}
+
+impl EventLog {
+    fn new(cap: usize) -> Self {
+        Self { buf: VecDeque::new(), cap, dropped: 0 }
+    }
+
+    fn push(&mut self, ev: CommEvent) {
+        if self.cap > 0 && self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn take(&mut self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.buf).into()
+    }
+
+    fn snapshot(&self) -> Vec<CommEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
 /// Default rendezvous eager limit from `DIFFREG_COMM_EAGER_LIMIT_BYTES`
 /// (unset/empty = eager delivery for every message, the historical behavior).
 fn default_eager_limit() -> Option<usize> {
@@ -313,7 +362,7 @@ pub struct ThreadComm {
     comm_uid: u64,
     /// Per-rank comm event log, shared with sub-communicators created by
     /// this endpoint so their events land on the same per-rank stream.
-    events: Arc<Mutex<Vec<CommEvent>>>,
+    events: Arc<Mutex<EventLog>>,
     /// Whether comm calls record [`CommEvent`]s.
     events_on: Cell<bool>,
     /// Per-`(peer, tag)` send sequence counters (p2p matching keys).
@@ -388,7 +437,7 @@ impl ThreadComm {
             timeout: Cell::new(default_timeout()),
             contract: Cell::new(default_contract()),
             comm_uid: 0,
-            events: Arc::new(Mutex::new(Vec::new())),
+            events: Arc::new(Mutex::new(EventLog::new(default_event_cap()))),
             events_on: Cell::new(default_events_on()),
             send_seq: RefCell::new(BTreeMap::new()),
             recv_seq: RefCell::new(BTreeMap::new()),
@@ -446,7 +495,35 @@ impl ThreadComm {
     /// Events appear in completion order. Call once per rank at the end of
     /// the SPMD closure, alongside `take_thread_trace`.
     pub fn take_events(&self) -> Vec<CommEvent> {
-        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// Non-destructive copy of this rank's comm event log, oldest first —
+    /// the flight-recorder read path (a later `take_events` still drains
+    /// everything). Includes events recorded on sub-communicators split off
+    /// this endpoint, which share the log.
+    pub fn snapshot_events(&self) -> Vec<CommEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).snapshot()
+    }
+
+    /// Caps this rank's comm event log at `cap` retained events (0 =
+    /// unbounded, the default unless `DIFFREG_COMM_TAP_CAP` is set). With a
+    /// finite cap the log becomes a ring: the newest events are kept, the
+    /// oldest are evicted, and [`events_dropped`](Self::events_dropped)
+    /// counts every eviction exactly. Shared with sub-communicators.
+    pub fn set_event_cap(&self, cap: usize) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).cap = cap;
+    }
+
+    /// Current comm event log cap (0 = unbounded).
+    pub fn event_cap(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).cap
+    }
+
+    /// Oldest-event evictions from this rank's comm event log since it was
+    /// created (exact, never reset).
+    pub fn events_dropped(&self) -> u64 {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).dropped
     }
 
     /// Sets the rendezvous eager limit: user-tag messages strictly larger
@@ -472,6 +549,12 @@ impl ThreadComm {
 
     fn push_event(&self, ev: CommEvent) {
         self.events.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+    }
+
+    /// Whether a p2p record on `tag` should be pushed (internal stamped
+    /// messages never record; user traffic records while recording is on).
+    fn record_p2p(&self, tag: u64) -> bool {
+        tag < TAG_INTERNAL && self.events_on.get()
     }
 
     /// Next sequence number on a `(peer, tag)` p2p stream.
@@ -565,7 +648,7 @@ impl ThreadComm {
         tag: u64,
     ) -> Result<(usize, &'static str, Box<dyn Any + Send>), CommError> {
         assert!(src < self.size, "recv from out-of-range rank {src}");
-        let record = tag < TAG_INTERNAL && self.events_on.get();
+        let record = self.record_p2p(tag);
         let t0_ns = if record { monotonic_ns() } else { 0 };
         let t0 = Instant::now();
         let r = self.recv_raw_inner(src, tag);
@@ -815,7 +898,7 @@ impl Comm for ThreadComm {
         if dst != self.rank {
             self.record_send(bytes);
         }
-        let record = tag < TAG_INTERNAL && self.events_on.get();
+        let record = self.record_p2p(tag);
         let t0 = if record { monotonic_ns() } else { 0 };
         let mut blocked_ns = 0u64;
         // Rendezvous protocol: user-tag messages over the eager limit wait
@@ -1531,6 +1614,34 @@ mod tests {
             c.take_events()
         });
         assert!(logs.iter().all(Vec::is_empty), "no recording unless enabled");
+    }
+
+    #[test]
+    fn capped_event_log_keeps_newest_and_counts_drops_exactly() {
+        let out = run_threaded(2, |c| {
+            c.set_event_recording(true);
+            c.set_event_cap(4);
+            assert_eq!(c.event_cap(), 4);
+            // 10 collective wrapper events per rank; only the newest 4 stay.
+            for _ in 0..10 {
+                c.barrier();
+            }
+            let snap = c.snapshot_events();
+            let dropped = c.events_dropped();
+            let drained = c.take_events();
+            // A snapshot does not drain; the drain returns the same window.
+            assert_eq!(snap.len(), drained.len());
+            assert!(c.take_events().is_empty(), "drained");
+            (drained, dropped)
+        });
+        for (events, dropped) in &out {
+            assert_eq!(events.len(), 4, "ring keeps exactly the cap");
+            assert_eq!(*dropped, 6, "every eviction is counted");
+            // Newest events survive: the retained epochs are the last four.
+            let epochs: Vec<u64> = events.iter().map(|e| e.epoch.unwrap()).collect();
+            let max = *epochs.iter().max().unwrap();
+            assert_eq!(epochs, (max - 3..=max).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! ```text
 //! diffreg-doctor analyze --dir target/doctor-smoke [--top 10] [--grid 32]
 //!                        [--gate] [--min-coverage 0.9]
+//! diffreg-doctor incident --dir target/incidents/incident-000-watchdog-timeout
+//!                         [--top 10] [--gate]
 //! diffreg-doctor selftest
 //! ```
 //!
@@ -22,6 +24,7 @@ use diffreg_comm::{CommEvent, CommOp};
 use diffreg_telemetry::doctor::{
     analyze, DoctorInput, RankRecord, Span, WaitKind,
 };
+use diffreg_telemetry::incident::{analyze_incident, gate_incident, load_incident_bundle};
 use diffreg_telemetry::{MetricsRegistry, PredictedPhases};
 
 fn main() -> ExitCode {
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("incident") => cmd_incident(&args[1..]),
         Some("selftest") => cmd_selftest(),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
@@ -49,13 +53,21 @@ fn run(args: &[String]) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   diffreg-doctor analyze --dir <bundle-dir> [--top K] [--grid N] [--gate] [--min-coverage F]
+  diffreg-doctor incident --dir <incident-bundle-dir> [--top K] [--gate]
   diffreg-doctor selftest
 
 analyze reads a trace bundle (trace.json + events-rank<k>.jsonl [+ metrics.json]),
 writes doctor-report.txt and metrics.prom into the bundle directory, and prints
 the report. --gate exits nonzero unless every p2p message matched, no collective
 group is incomplete, and critical-path coverage meets --min-coverage (default 0.9).
---grid N adds the paper's performance-model predicted column for an N^3 grid.";
+--grid N adds the paper's performance-model predicted column for an N^3 grid.
+
+incident reads one incident bundle written by the serve runtime
+(incident.json + per-rank comm/recorder captures), verifies its content
+digest, runs wait-state triage with culprit attribution, writes
+incident-report.txt into the bundle directory, and prints the triage
+summary. --gate additionally exits nonzero unless the digest matches, the
+capture accounting is exact, and culprit-bearing triggers name a culprit.";
 
 struct AnalyzeOpts {
     dir: Option<String>,
@@ -145,6 +157,50 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_incident(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut top = 10usize;
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--dir" => dir = Some(value("--dir")?.clone()),
+            "--top" => {
+                top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs an integer".to_string())?;
+            }
+            "--gate" => gate = true,
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or(format!("incident needs --dir\n{USAGE}"))?;
+    // The typed load errors (missing bundle, truncated file) surface here
+    // as the process's non-zero exit and pinned message.
+    let bundle = load_incident_bundle(&dir).map_err(|e| e.to_string())?;
+    let analysis = analyze_incident(&bundle, top);
+    let dir_path = std::path::Path::new(&dir);
+    std::fs::write(dir_path.join("incident-report.txt"), &analysis.summary)
+        .map_err(|e| format!("write incident-report.txt: {e}"))?;
+    print!("{}", analysis.summary);
+    println!("wrote {}", dir_path.join("incident-report.txt").display());
+    if gate {
+        gate_incident(&bundle, &analysis).map_err(|e| format!("gate failed: {e}"))?;
+        println!(
+            "gate ok: digest {:016x} verified, {} comm events across {} rank(s), {} \
+             convergence line(s)",
+            bundle.header.capture_digest,
+            bundle.header.comm_events,
+            bundle.events.len(),
+            bundle.convergence_lines
+        );
+    }
+    Ok(())
+}
+
 /// Synthetic two-rank late-sender scenario: the analysis pipeline must match
 /// the pair, classify the wait, and explain the whole wall clock.
 fn cmd_selftest() -> Result<(), String> {
@@ -187,6 +243,7 @@ fn cmd_selftest() -> Result<(), String> {
             RankRecord { rank: 1, events: vec![send], spans: vec![] },
         ],
         metrics: MetricsRegistry::new(),
+        trace_dropped: 0,
     };
     let report = analyze(&input);
     if report.matched.len() != 1 || report.unmatched_sends + report.unmatched_recvs != 0 {

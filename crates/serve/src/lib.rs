@@ -47,9 +47,11 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod incident;
 pub mod job;
 pub mod runtime;
 pub mod scheduler;
+pub mod slo;
 
 pub use faults::{AttemptFaults, FaultInjector, NoFaults, PlannedFaults, SeededFaults};
 pub use job::{JobId, JobRecord, JobResult, JobSpec, JobState, RetryPolicy};
@@ -57,4 +59,6 @@ pub use runtime::{
     attempt_epoch_count, reference_digest, synthetic_pair, ProgressEvent, ServeConfig,
     ServeHarness, ServeSummary,
 };
+pub use incident::IncidentRecord;
 pub use scheduler::{plan_round, Assignment};
+pub use slo::{burn_milli, AlertState, Objective, SloAlert, SloEngine, SloPolicy};

@@ -59,18 +59,21 @@ use diffreg_grid::{Decomp, Grid, ScalarField, VectorField};
 use diffreg_optim::{NewtonCursor, NewtonOptions};
 use diffreg_pfft::PencilFft;
 use diffreg_telemetry::doctor::write_trace_bundle;
+use diffreg_telemetry::incident::{write_incident_bundle, IncidentHeader, RankCapture};
 use diffreg_telemetry::{
-    set_trace_enabled, take_thread_trace, ConvergenceLog, IterRecord, MetricsRegistry,
-    ThreadTrace,
+    record_comm_summary, record_event, set_trace_enabled, take_recorder, take_thread_trace,
+    ConvergenceLog, IterRecord, MetricsRegistry, RecKind, ThreadTrace,
 };
 use diffreg_transport::{SemiLagrangian, Workspace};
 
 use crate::faults::{AttemptFaults, FaultInjector};
+use crate::incident::{failure_trigger, CaptureStage, IncidentRecord, IncidentTrigger};
 use crate::job::{
     decode_intake, encode_intake, fnv_fold_u64, JobId, JobRecord, JobResult, JobSpec, JobState,
     RetryPolicy, FNV_OFFSET,
 };
 use crate::scheduler::{plan_round, Assignment};
+use crate::slo::{AlertState, SloEngine, SloPolicy};
 
 /// Locks a mutex, riding through poisoning (a contained gang kill may have
 /// unwound while holding a side-store lock; the data is still consistent —
@@ -104,6 +107,15 @@ pub struct ServeConfig {
     /// Sleep per empty round while intake is open (keeps an idle pool from
     /// hot-spinning).
     pub idle_sleep: Duration,
+    /// When set, every incident trigger writes a doctor-readable bundle
+    /// under this directory (rank 0 writes; triggers themselves are
+    /// computed on every rank and land in the replicated summary). Also
+    /// turns on per-attempt comm-event + flight-recorder capture staging.
+    pub incident_dir: Option<PathBuf>,
+    /// Per-tenant SLO policy; `None` disables the SLO engine.
+    pub slo: Option<SloPolicy>,
+    /// Convergence-log entries captured into each incident bundle's tail.
+    pub incident_tail: usize,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +128,9 @@ impl Default for ServeConfig {
             checkpoint_dir: None,
             trace_job: None,
             idle_sleep: Duration::from_millis(1),
+            incident_dir: None,
+            slo: None,
+            incident_tail: 64,
         }
     }
 }
@@ -148,6 +163,15 @@ pub struct ServeSummary {
     pub rejected: Vec<JobId>,
     /// Final job table.
     pub records: BTreeMap<JobId, JobRecord>,
+    /// Fold-derived incident records, in deterministic trigger order
+    /// (identical on every rank and across seeded replays).
+    pub incidents: Vec<IncidentRecord>,
+    /// Rendered SLO alert-log lines, in transition order (empty when no
+    /// SLO policy is configured).
+    pub slo_alerts: Vec<String>,
+    /// FNV digest of the final SLO engine state (0 without a policy);
+    /// equality across ranks proves bit-identical alert state.
+    pub slo_digest: u64,
 }
 
 impl ServeSummary {
@@ -276,6 +300,20 @@ pub struct ServeHarness {
     logs: Arc<Mutex<HashMap<JobId, ConvergenceLog>>>,
     metrics: Arc<Mutex<MetricsRegistry>>,
     traces: Arc<Mutex<TraceMap>>,
+    stage: Arc<Mutex<CaptureStage>>,
+}
+
+/// Context for one incident trigger (everything
+/// [`ServeHarness::record_incident`] needs beyond the shared state).
+struct IncidentCtx<'a> {
+    trigger: IncidentTrigger,
+    job: JobId,
+    attempt: u32,
+    tenant: &'a str,
+    round: u64,
+    gang_ranks: &'a [usize],
+    reason: &'a str,
+    detail: String,
 }
 
 impl ServeHarness {
@@ -293,6 +331,7 @@ impl ServeHarness {
             logs: Arc::new(Mutex::new(HashMap::new())),
             metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
             traces: Arc::new(Mutex::new(BTreeMap::new())),
+            stage: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -386,6 +425,9 @@ impl ServeHarness {
         let mut rejected: Vec<JobId> = Vec::new();
         let mut submit_times: HashMap<JobId, Instant> = HashMap::new();
         let mut round: u64 = 0;
+        let mut slo: Option<SloEngine> = self.cfg.slo.clone().map(SloEngine::new);
+        let mut incidents: Vec<IncidentRecord> = Vec::new();
+        let capture_on = self.cfg.incident_dir.is_some();
         if me == 0 {
             let mut m = lock(&self.metrics);
             m.set_gauge("serve_pool_ranks", pool as f64);
@@ -456,6 +498,38 @@ impl ServeHarness {
                             if me == 0 {
                                 lock(&self.metrics).inc_counter("serve_jobs_expired_total", 1);
                             }
+                            let qw = rec
+                                .first_start_round
+                                .unwrap_or(round)
+                                .saturating_sub(rec.submit_round);
+                            if let Some(s) = slo.as_mut() {
+                                s.observe_terminal(
+                                    &rec.spec.tenant,
+                                    round,
+                                    qw,
+                                    round.saturating_sub(rec.submit_round),
+                                    false,
+                                );
+                            }
+                            let firing =
+                                slo.as_ref().map(|s| s.firing()).unwrap_or_default();
+                            self.record_incident(
+                                &mut incidents,
+                                &firing,
+                                me,
+                                IncidentCtx {
+                                    trigger: IncidentTrigger::DeadlineExpiry,
+                                    job: rec.spec.id,
+                                    attempt: rec.attempts,
+                                    tenant: &rec.spec.tenant,
+                                    round,
+                                    gang_ranks: &[],
+                                    reason: "deadline",
+                                    detail: format!(
+                                        "deadline of {d} rounds passed while waiting in queue"
+                                    ),
+                                },
+                            );
                         }
                     }
                 }
@@ -502,6 +576,7 @@ impl ServeHarness {
             // 5. split into gangs (the plan IS the coloring) and execute.
             let mine = plan.iter().position(|a| a.ranks.contains(&me));
             let color = mine.unwrap_or(plan.len());
+            let drops_before = if capture_on { world.events_dropped() } else { 0 };
             let sub = world.split(color, me);
             let report = match mine {
                 Some(ai) => {
@@ -517,11 +592,103 @@ impl ServeHarness {
                 }
             };
 
+            // Stage this rank's capture before the allgather: the gang's
+            // comm events landed on this pool rank's shared event log (the
+            // split shares it), and the flight-recorder window covers the
+            // attempt since its start-of-attempt reset. The allgather below
+            // is the barrier that makes every gang member's insert visible
+            // to rank 0's fold.
+            if capture_on {
+                if let Some(ai) = mine {
+                    let a = &plan[ai];
+                    if let Some(rec) = table.get(&a.job) {
+                        let events = world.take_events();
+                        let dropped = world.events_dropped().saturating_sub(drops_before);
+                        let mut per_op: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+                        for e in &events {
+                            let p = per_op.entry(e.op.name()).or_insert((0, 0));
+                            p.0 += 1;
+                            p.1 += e.bytes;
+                        }
+                        for (op, (n, bytes)) in per_op {
+                            record_comm_summary(op, n, bytes);
+                        }
+                        // This rank's own failure reason is the triage's
+                        // strongest culprit signal (comm streams truncate
+                        // symmetrically on gang-fatal faults): the killed
+                        // rank reports the kill, the stalled rank reports
+                        // peer-gone while its waiters report timeout.
+                        if report.kind == KIND_FAIL {
+                            record_event(
+                                RecKind::Serve,
+                                "serve.attempt-failed",
+                                report.reason,
+                                a.ranks.iter().position(|r| *r == me).unwrap_or(0) as u64,
+                            );
+                        }
+                        let recorder = take_recorder();
+                        let gang_rank =
+                            a.ranks.iter().position(|r| *r == me).unwrap_or(0);
+                        lock(&self.stage).entry((a.job, rec.attempts)).or_default().insert(
+                            gang_rank,
+                            RankCapture { gang_rank, events, events_dropped: dropped, recorder },
+                        );
+                    }
+                }
+            }
+
             // 6. outcome allgather + deterministic fold.
             let gathered = world.allgather(report.encode());
             let reports: Vec<AttemptReport> =
                 gathered.iter().map(|w| AttemptReport::decode(w)).collect();
-            self.fold_outcomes(&mut table, &plan, &reports, round, me, &submit_times);
+            self.fold_outcomes(
+                &mut table,
+                &plan,
+                &reports,
+                round,
+                me,
+                &submit_times,
+                &mut slo,
+                &mut incidents,
+            );
+
+            // 7. SLO window rotation + alert transitions (replicated), and
+            // per-round capture-stage cleanup. Rank 0 reaches this only
+            // after writing any bundles; the other ranks cannot start the
+            // next round's attempts before rank 0's intake broadcast, so
+            // clearing here cannot race new inserts.
+            if let Some(s) = slo.as_mut() {
+                let alerts = s.advance_round(round);
+                let firing = s.firing();
+                for al in &alerts {
+                    if me == 0 {
+                        lock(&self.metrics).inc_counter("serve_slo_transitions_total", 1);
+                    }
+                    if al.state == AlertState::Firing {
+                        self.record_incident(
+                            &mut incidents,
+                            &firing,
+                            me,
+                            IncidentCtx {
+                                trigger: IncidentTrigger::SloBurnRate,
+                                job: 0,
+                                attempt: 0,
+                                tenant: &al.tenant,
+                                round,
+                                gang_ranks: &[],
+                                reason: "slo",
+                                detail: al.render(),
+                            },
+                        );
+                    }
+                }
+                if me == 0 {
+                    s.export(round, &mut lock(&self.metrics));
+                }
+            }
+            if capture_on && me == 0 {
+                lock(&self.stage).clear();
+            }
 
             round += 1;
         }
@@ -534,12 +701,22 @@ impl ServeHarness {
             m.set_gauge("serve_queue_depth", 0.0);
             m.set_gauge("serve_running_jobs", 0.0);
         }
-        ServeSummary { rounds: round, rejected, records: table }
+        ServeSummary {
+            rounds: round,
+            rejected,
+            records: table,
+            incidents,
+            slo_alerts: slo.as_ref().map(|s| s.render_alert_log()).unwrap_or_default(),
+            slo_digest: slo.as_ref().map(|s| s.state_digest()).unwrap_or(0),
+        }
     }
 
     /// Folds one round's allgathered gang outcomes into the replicated
-    /// table. Pure with respect to the replicated inputs; rank 0
-    /// additionally records metrics.
+    /// table, feeding the SLO engine and the incident sequence (both
+    /// fold-derived, so identical on every rank). Pure with respect to the
+    /// replicated inputs; rank 0 additionally records metrics and writes
+    /// incident bundles.
+    #[allow(clippy::too_many_arguments)]
     fn fold_outcomes(
         &self,
         table: &mut BTreeMap<JobId, JobRecord>,
@@ -548,7 +725,12 @@ impl ServeHarness {
         round: u64,
         me: usize,
         submit_times: &HashMap<JobId, Instant>,
+        slo: &mut Option<SloEngine>,
+        incidents: &mut Vec<IncidentRecord>,
     ) {
+        // Alert state only transitions in `advance_round`, so one snapshot
+        // serves every bundle header written this fold.
+        let firing: Vec<String> = slo.as_ref().map(|s| s.firing()).unwrap_or_default();
         for a in plan {
             let members: Vec<&AttemptReport> = a.ranks.iter().map(|r| &reports[*r]).collect();
             let Some(rec) = table.get_mut(&a.job) else { continue };
@@ -570,6 +752,38 @@ impl ServeHarness {
                     attempt: rec.attempts,
                     resumed: lead.resumed,
                 });
+                if let Some(s) = slo.as_mut() {
+                    let qw = rec
+                        .first_start_round
+                        .unwrap_or(round)
+                        .saturating_sub(rec.submit_round);
+                    s.observe_terminal(
+                        &rec.spec.tenant,
+                        round,
+                        qw,
+                        round.saturating_sub(rec.submit_round),
+                        true,
+                    );
+                }
+                if lead.fell_back {
+                    self.record_incident(
+                        incidents,
+                        &firing,
+                        me,
+                        IncidentCtx {
+                            trigger: IncidentTrigger::CheckpointFallback,
+                            job: a.job,
+                            attempt: rec.attempts,
+                            tenant: &rec.spec.tenant,
+                            round,
+                            gang_ranks: &a.ranks,
+                            reason: "",
+                            detail: "resume fell back to the previous checkpoint generation \
+                                     (current generation torn)"
+                                .to_string(),
+                        },
+                    );
+                }
                 if me == 0 {
                     let mut m = lock(&self.metrics);
                     m.inc_counter("serve_jobs_completed_total", 1);
@@ -601,6 +815,29 @@ impl ServeHarness {
                     1,
                 );
             }
+            // Every failed attempt is an incident: a watchdog timeout gets
+            // its own trigger (the triage hunts for the stalled rank), any
+            // other contained failure files as attempt-failure.
+            self.record_incident(
+                incidents,
+                &firing,
+                me,
+                IncidentCtx {
+                    trigger: failure_trigger(reason_label(reason)),
+                    job: a.job,
+                    attempt: rec.attempts,
+                    tenant: &rec.spec.tenant,
+                    round,
+                    gang_ranks: &a.ranks,
+                    reason: reason_label(reason),
+                    detail: format!(
+                        "attempt {} failed on a gang of {} (reason: {})",
+                        rec.attempts,
+                        a.ranks.len(),
+                        reason_label(reason)
+                    ),
+                },
+            );
             let deadline_hit = rec
                 .spec
                 .deadline_rounds
@@ -617,11 +854,55 @@ impl ServeHarness {
                 if me == 0 {
                     lock(&self.metrics).inc_counter("serve_jobs_expired_total", 1);
                 }
+                if let Some(s) = slo.as_mut() {
+                    let qw = rec
+                        .first_start_round
+                        .unwrap_or(round)
+                        .saturating_sub(rec.submit_round);
+                    s.observe_terminal(
+                        &rec.spec.tenant,
+                        round,
+                        qw,
+                        round.saturating_sub(rec.submit_round),
+                        false,
+                    );
+                }
+                self.record_incident(
+                    incidents,
+                    &firing,
+                    me,
+                    IncidentCtx {
+                        trigger: IncidentTrigger::DeadlineExpiry,
+                        job: a.job,
+                        attempt: rec.attempts,
+                        tenant: &rec.spec.tenant,
+                        round,
+                        gang_ranks: &a.ranks,
+                        reason: reason_label(reason),
+                        detail: format!(
+                            "deadline passed after attempt {} failed",
+                            rec.attempts
+                        ),
+                    },
+                );
             } else if rec.attempts > rec.spec.max_retries {
                 rec.state = JobState::Failed;
                 rec.finish_round = Some(round);
                 if me == 0 {
                     lock(&self.metrics).inc_counter("serve_jobs_failed_total", 1);
+                }
+                if let Some(s) = slo.as_mut() {
+                    let qw = rec
+                        .first_start_round
+                        .unwrap_or(round)
+                        .saturating_sub(rec.submit_round);
+                    s.observe_terminal(
+                        &rec.spec.tenant,
+                        round,
+                        qw,
+                        round.saturating_sub(rec.submit_round),
+                        false,
+                    );
                 }
             } else {
                 // Retry. Keep the gang size while checkpoint resume has a
@@ -639,10 +920,87 @@ impl ServeHarness {
                     if me == 0 {
                         lock(&self.metrics).inc_counter("serve_jobs_degraded_total", 1);
                     }
+                    self.record_incident(
+                        incidents,
+                        &firing,
+                        me,
+                        IncidentCtx {
+                            trigger: IncidentTrigger::GangDegraded,
+                            job: a.job,
+                            attempt: rec.attempts,
+                            tenant: &rec.spec.tenant,
+                            round,
+                            gang_ranks: &a.ranks,
+                            reason: reason_label(reason),
+                            detail: format!(
+                                "gang halved to {} after {} fresh-start failures",
+                                rec.gang_size, rec.attempts
+                            ),
+                        },
+                    );
                 }
                 let delay = self.cfg.retry.backoff_rounds(a.job, rec.attempts);
                 rec.state = JobState::Backoff { until_round: round + delay };
             }
+        }
+    }
+
+    /// Appends one fold-derived incident record (every rank, deterministic)
+    /// and — on rank 0 with an `incident_dir` — writes the doctor-readable
+    /// bundle from the staged gang captures.
+    fn record_incident(
+        &self,
+        incidents: &mut Vec<IncidentRecord>,
+        slo_firing: &[String],
+        me: usize,
+        ctx: IncidentCtx<'_>,
+    ) {
+        let seq = incidents.len() as u64;
+        incidents.push(IncidentRecord {
+            seq,
+            trigger: ctx.trigger,
+            job: ctx.job,
+            attempt: ctx.attempt,
+            round: ctx.round,
+            reason: ctx.reason.to_string(),
+        });
+        if me != 0 {
+            return;
+        }
+        lock(&self.metrics).inc_counter(
+            &format!("serve_incidents_total{{trigger=\"{}\"}}", ctx.trigger.name()),
+            1,
+        );
+        let Some(dir) = &self.cfg.incident_dir else { return };
+        let captures: Vec<RankCapture> = lock(&self.stage)
+            .get(&(ctx.job, ctx.attempt))
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        let tail = lock(&self.logs).get(&ctx.job).map(|l| l.tail(self.cfg.incident_tail));
+        let metrics = lock(&self.metrics).clone();
+        let header = IncidentHeader {
+            seq,
+            trigger: ctx.trigger,
+            job: ctx.job,
+            attempt: ctx.attempt,
+            round: ctx.round,
+            tenant: ctx.tenant.to_string(),
+            reason: ctx.reason.to_string(),
+            detail: ctx.detail,
+            gang_ranks: ctx.gang_ranks.to_vec(),
+            slo_firing: slo_firing.to_vec(),
+            comm_events: 0,
+            comm_dropped: 0,
+            rec_seen: 0,
+            rec_recorded: 0,
+            rec_sampled_out: 0,
+            rec_overwritten: 0,
+            convergence_entries: 0,
+            convergence_evicted: 0,
+            capture_digest: 0,
+        };
+        if write_incident_bundle(dir, header, &captures, tail.as_ref(), Some(&metrics)).is_err() {
+            lock(&self.metrics).inc_counter("serve_incident_write_errors_total", 1);
         }
     }
 
@@ -656,10 +1014,23 @@ impl ServeHarness {
         let faults = self.injector.faults(spec.id, attempt);
         let store = self.store_for(&spec);
         let tracing = self.cfg.trace_job == Some(spec.id);
+        let capture_on = self.cfg.incident_dir.is_some();
         sub.set_timeout(self.cfg.watchdog);
-        if tracing {
+        if tracing || capture_on {
             sub.set_event_recording(true);
+        }
+        if tracing {
             let _ = take_thread_trace(); // drop spans from earlier attempts
+        }
+        if capture_on {
+            // Reset both capture windows so the staged snapshot — and its
+            // adaptive-sampling counters — covers exactly this attempt
+            // (replay-deterministic: the stride depends only on counts).
+            // The event drain discards pool-collective residue from rounds
+            // this rank sat idle; `sub` shares the rank's event log.
+            let _ = sub.take_events();
+            let _ = take_recorder();
+            record_event(RecKind::Serve, "serve.attempt", spec.id, u64::from(attempt));
         }
 
         let outcome = run_gang(sub, |gang| {

@@ -55,33 +55,72 @@ pub enum StreamEntry {
 
 /// An in-memory solver telemetry stream. Cheap to append; serialize with
 /// [`ConvergenceLog::to_jsonl`] / [`ConvergenceLog::render_table`].
+///
+/// Unbounded by default; [`ConvergenceLog::with_tail_cap`] turns it into a
+/// tail buffer that keeps only the newest entries — the flight-recorder
+/// flavor long-running services use so an incident capture always has the
+/// recent convergence history without unbounded growth.
 #[derive(Debug, Clone, Default)]
 pub struct ConvergenceLog {
     /// Run label carried into every JSON record (`"run"` field).
     pub run: String,
-    /// The stream entries in emission order.
+    /// The stream entries in emission order (the newest `tail_cap` when one
+    /// is set).
     pub entries: Vec<StreamEntry>,
+    /// Maximum retained entries; 0 = unbounded.
+    pub tail_cap: usize,
+    /// Oldest entries evicted by the tail cap (exact, never reset).
+    pub evicted: u64,
 }
 
 impl ConvergenceLog {
     /// A new empty stream labelled `run`.
     pub fn new(run: impl Into<String>) -> Self {
-        Self { run: run.into(), entries: Vec::new() }
+        Self { run: run.into(), entries: Vec::new(), tail_cap: 0, evicted: 0 }
+    }
+
+    /// A new stream that retains only the newest `cap` entries, counting
+    /// every eviction in [`ConvergenceLog::evicted`] (0 = unbounded).
+    pub fn with_tail_cap(run: impl Into<String>, cap: usize) -> Self {
+        Self { tail_cap: cap, ..Self::new(run) }
+    }
+
+    fn push(&mut self, entry: StreamEntry) {
+        if self.tail_cap > 0 && self.entries.len() >= self.tail_cap {
+            let drop_n = (self.entries.len() + 1).saturating_sub(self.tail_cap);
+            self.entries.drain(..drop_n);
+            self.evicted += drop_n as u64;
+        }
+        self.entries.push(entry);
     }
 
     /// Appends a per-iteration record.
     pub fn record(&mut self, rec: IterRecord) {
-        self.entries.push(StreamEntry::Iter(rec));
+        self.push(StreamEntry::Iter(rec));
     }
 
     /// Appends a discrete event.
     pub fn event(&mut self, kind: &str, level: usize, iter: usize, detail: impl Into<String>) {
-        self.entries.push(StreamEntry::Event(SolverEvent {
+        self.push(StreamEntry::Event(SolverEvent {
             kind: kind.to_string(),
             level,
             iter,
             detail: detail.into(),
         }));
+    }
+
+    /// The newest `n` entries (all of them when `n` exceeds the retained
+    /// count) as a fresh log carrying the same run label plus the exact
+    /// count of entries *not* included (evictions plus truncation) — the
+    /// incident bundle's convergence tail.
+    pub fn tail(&self, n: usize) -> ConvergenceLog {
+        let skip = self.entries.len().saturating_sub(n);
+        ConvergenceLog {
+            run: self.run.clone(),
+            entries: self.entries[skip..].to_vec(),
+            tail_cap: self.tail_cap,
+            evicted: self.evicted + skip as u64,
+        }
     }
 
     /// All per-iteration records in order.
@@ -219,6 +258,33 @@ mod tests {
         let it = Json::parse(lines[1]).unwrap();
         assert_eq!(it.get("type").unwrap().as_str().unwrap(), "iter");
         assert_eq!(it.get("pcg_iters").unwrap().as_f64().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn tail_cap_keeps_newest_entries_and_counts_evictions() {
+        let mut log = ConvergenceLog::with_tail_cap("svc", 4);
+        for i in 1..=10 {
+            log.record(rec(0, i));
+        }
+        assert_eq!(log.entries.len(), 4, "tail buffer stays at cap");
+        assert_eq!(log.evicted, 6, "every eviction counted");
+        let iters: Vec<usize> = log.iterations().map(|r| r.iter).collect();
+        assert_eq!(iters, vec![7, 8, 9, 10], "newest entries survive");
+
+        // tail(n) narrows further and accounts for what it skipped.
+        let t = log.tail(2);
+        assert_eq!(t.iterations().map(|r| r.iter).collect::<Vec<_>>(), vec![9, 10]);
+        assert_eq!(t.evicted, 8);
+        assert_eq!(t.run, "svc");
+        // tail(n) larger than retained = everything retained.
+        assert_eq!(log.tail(100).entries.len(), 4);
+
+        // Unbounded logs never evict.
+        let mut free = ConvergenceLog::new("free");
+        for i in 1..=10 {
+            free.record(rec(0, i));
+        }
+        assert_eq!((free.entries.len(), free.evicted), (10, 0));
     }
 
     #[test]

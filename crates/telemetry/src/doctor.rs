@@ -213,6 +213,11 @@ pub struct DoctorInput {
     pub ranks: Vec<RankRecord>,
     /// Run-recorded metrics (merged across ranks), if any.
     pub metrics: MetricsRegistry,
+    /// Events the per-thread trace buffers dropped at capacity, summed
+    /// across threads (from `trace.json`'s `otherData.dropped_events` or
+    /// the in-memory [`ThreadTrace`] counters). Exact accounting of what
+    /// the spans below do NOT show.
+    pub trace_dropped: u64,
 }
 
 impl DoctorInput {
@@ -239,9 +244,11 @@ impl DoctorInput {
                 });
             }
         }
+        let trace_dropped = traces.iter().map(|(_, t)| t.dropped).sum();
         DoctorInput {
             ranks: ranks.into_values().collect(),
             metrics: metrics.cloned().unwrap_or_default(),
+            trace_dropped,
         }
     }
 
@@ -284,11 +291,17 @@ impl DoctorInput {
         }
         // Spans from trace.json (category "diffreg" only; the comm track is
         // redundant with the JSONL streams).
+        let mut trace_dropped = 0u64;
         let trace_path = dir.join("trace.json");
         if trace_path.exists() {
             let text = std::fs::read_to_string(&trace_path)
                 .map_err(|e| format!("doctor: read trace.json: {e}"))?;
             let doc = Json::parse(&text).map_err(|e| format!("doctor: trace.json: {e}"))?;
+            trace_dropped = doc
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64;
             let events = doc
                 .get("traceEvents")
                 .and_then(Json::as_arr)
@@ -323,7 +336,7 @@ impl DoctorInput {
         } else {
             MetricsRegistry::new()
         };
-        Ok(DoctorInput { ranks: ranks.into_values().collect(), metrics })
+        Ok(DoctorInput { ranks: ranks.into_values().collect(), metrics, trace_dropped })
     }
 }
 
@@ -478,6 +491,9 @@ pub struct DoctorReport {
     /// Derived metrics (op latencies, wait histograms) merged with the
     /// run-recorded registry.
     pub metrics: MetricsRegistry,
+    /// Events dropped by per-thread trace buffers at capacity (summed) —
+    /// the spans above are missing exactly this many events.
+    pub trace_dropped: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -918,6 +934,7 @@ pub fn analyze(input: &DoctorInput) -> DoctorReport {
     metrics.inc_counter("diffreg_doctor_collectives_total", collectives.len() as u64);
     metrics
         .inc_counter("diffreg_doctor_collectives_incomplete_total", incomplete_collectives as u64);
+    metrics.inc_counter("diffreg_trace_dropped_events_total", input.trace_dropped);
 
     DoctorReport {
         ranks: nranks,
@@ -936,6 +953,7 @@ pub fn analyze(input: &DoctorInput) -> DoctorReport {
         coverage,
         phase_rank_seconds,
         metrics,
+        trace_dropped: input.trace_dropped,
     }
 }
 
@@ -963,8 +981,8 @@ impl DoctorReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "wait-state doctor: {} rank(s), wall {:.6} s",
-            self.ranks, self.wall_s
+            "wait-state doctor: {} rank(s), wall {:.6} s, {} trace event(s) dropped at capture",
+            self.ranks, self.wall_s, self.trace_dropped
         );
         let _ = writeln!(
             out,
@@ -1201,6 +1219,7 @@ mod tests {
                 RankRecord { rank: 1, events: vec![send], spans: vec![] },
             ],
             metrics: MetricsRegistry::new(),
+            trace_dropped: 0,
         };
         let rep = analyze(&input);
         assert_eq!(rep.matched.len(), 1);
@@ -1240,6 +1259,7 @@ mod tests {
                 RankRecord { rank: 1, events: vec![recv], spans: vec![] },
             ],
             metrics: MetricsRegistry::new(),
+            trace_dropped: 0,
         };
         let rep = analyze(&input);
         let lr: Vec<&WaitState> =
@@ -1247,6 +1267,32 @@ mod tests {
         assert_eq!(lr.len(), 1);
         assert_eq!((lr[0].waiter, lr[0].culprit), (0, 1));
         assert!((lr[0].wait_s - 0.080).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_drop_counter_reaches_report_header_and_prometheus() {
+        let a = coll(CommOp::Barrier, 0, 1, 0, 105);
+        let b = coll(CommOp::Barrier, 1, 1, 100, 105);
+        let input = DoctorInput {
+            ranks: vec![
+                RankRecord { rank: 0, events: vec![a], spans: vec![] },
+                RankRecord { rank: 1, events: vec![b], spans: vec![] },
+            ],
+            metrics: MetricsRegistry::new(),
+            trace_dropped: 7,
+        };
+        let rep = analyze(&input);
+        assert_eq!(rep.trace_dropped, 7);
+        assert!(
+            rep.render(5, None).contains("7 trace event(s) dropped at capture"),
+            "{}",
+            rep.render(5, None)
+        );
+        assert!(
+            rep.prometheus().contains("diffreg_trace_dropped_events_total 7"),
+            "{}",
+            rep.prometheus()
+        );
     }
 
     #[test]
@@ -1260,6 +1306,7 @@ mod tests {
                 RankRecord { rank: 1, events: vec![b], spans: vec![] },
             ],
             metrics: MetricsRegistry::new(),
+            trace_dropped: 0,
         };
         let rep = analyze(&input);
         assert_eq!(rep.collectives.len(), 1);
@@ -1285,6 +1332,7 @@ mod tests {
         let input = DoctorInput {
             ranks: vec![RankRecord { rank: 0, events: vec![send, half], spans: vec![] }],
             metrics: MetricsRegistry::new(),
+            trace_dropped: 0,
         };
         let rep = analyze(&input);
         assert_eq!(rep.unmatched_sends, 1);
@@ -1334,6 +1382,7 @@ mod tests {
                 },
             ],
             metrics: MetricsRegistry::new(),
+            trace_dropped: 0,
         };
         let r1 = analyze(&input);
         let r2 = analyze(&input);

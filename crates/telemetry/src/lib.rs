@@ -41,14 +41,20 @@
 
 pub mod convergence;
 pub mod doctor;
+pub mod incident;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod results;
 pub mod span;
 
 pub use convergence::{ConvergenceLog, IterRecord, SolverEvent, StreamEntry};
 pub use json::Json;
+pub use recorder::{
+    record_comm_summary, record_event, recorder_enabled, set_recorder_cap, set_recorder_enabled,
+    snapshot_recorder, take_recorder, RecEvent, RecKind, RecorderSnapshot,
+};
 pub use metrics::{
     count_global, observe_global, take_global_metrics, Histogram, MetricsRegistry,
 };

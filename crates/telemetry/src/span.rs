@@ -117,19 +117,28 @@ thread_local! {
 
 /// Opens a span; the span closes (and is recorded) when the returned guard
 /// drops. Spans nest: guards created inside an open span record a larger
-/// `depth`. When tracing is disabled this is a single relaxed atomic load.
+/// `depth`. Closed spans feed two consumers independently: the full-fidelity
+/// trace buffer (when tracing is on) and the always-on flight recorder's
+/// downsampled stream (see [`crate::recorder`]). When both are disabled this
+/// is two relaxed atomic loads and nothing else.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !trace_enabled() {
-        return SpanGuard { name, t0_ns: None, depth: 0 };
+    let traced = trace_enabled();
+    let recorded = crate::recorder::recorder_enabled();
+    if !traced && !recorded {
+        return SpanGuard { name, t0_ns: None, traced: false, depth: 0 };
     }
-    let depth = BUFFER.with(|b| {
-        let mut b = b.borrow_mut();
-        let d = b.depth;
-        b.depth += 1;
-        d
-    });
-    SpanGuard { name, t0_ns: Some(monotonic_ns()), depth }
+    let depth = if traced {
+        BUFFER.with(|b| {
+            let mut b = b.borrow_mut();
+            let d = b.depth;
+            b.depth += 1;
+            d
+        })
+    } else {
+        0
+    };
+    SpanGuard { name, t0_ns: Some(monotonic_ns()), traced, depth }
 }
 
 /// RAII guard of one open span (see [`span`]).
@@ -137,6 +146,9 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub struct SpanGuard {
     name: &'static str,
     t0_ns: Option<u64>,
+    /// Whether the full tracer was on at open (the flight recorder side is
+    /// re-checked at close; the trace buffer must stay depth-consistent).
+    traced: bool,
     depth: u32,
 }
 
@@ -144,6 +156,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(t0_ns) = self.t0_ns else { return };
         let dur_ns = monotonic_ns().saturating_sub(t0_ns);
+        if crate::recorder::recorder_enabled() {
+            crate::recorder::offer_span(self.name, t0_ns, dur_ns, self.depth);
+        }
+        if !self.traced {
+            return;
+        }
         BUFFER.with(|b| {
             let mut b = b.borrow_mut();
             b.depth = b.depth.saturating_sub(1);

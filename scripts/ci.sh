@@ -17,22 +17,25 @@
 #   8. serve smoke: the chaos job-runtime campaign (seeded kills/stalls/torn
 #      checkpoints, zero lost jobs, bitwise recovery) plus a doctor gate on
 #      one served job's trace bundle, then a reduced-scale load campaign
-#   9. perf-regression gate over the kernel suite (scripts/perf_gate.sh)
-#  10. static analysis: the in-tree analyzer must report zero new findings,
+#   9. incident drill: the seeded chaos drill must emit exactly the expected
+#      incident bundles, every bundle must pass `diffreg-doctor incident
+#      --gate`, and a second run must reproduce the bundles byte-for-byte
+#  10. perf-regression gate over the kernel suite (scripts/perf_gate.sh)
+#  11. static analysis: the in-tree analyzer must report zero new findings,
 #      and its fixture + schedule-explorer suites must pass
-#  11. clippy clean under -D warnings (skipped if clippy is not installed)
-#  12. smoke-test the individual crates a distributed solve flows through
-#  13. fail if Cargo.lock ever acquires a registry (non-path) dependency
+#  12. clippy clean under -D warnings (skipped if clippy is not installed)
+#  13. smoke-test the individual crates a distributed solve flows through
+#  14. fail if Cargo.lock ever acquires a registry (non-path) dependency
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/13] cargo build --release --offline"
+echo "==> [1/14] cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> [2/13] cargo test --offline (workspace, release)"
+echo "==> [2/14] cargo test --offline (workspace, release)"
 cargo test --workspace --release -q --offline
 
-echo "==> [3/13] kernel-overhaul parity tier (r2c / SoA / f32, release)"
+echo "==> [3/14] kernel-overhaul parity tier (r2c / SoA / f32, release)"
 # The fast defaults (half-spectrum r2c transforms, SoA tricubic, optional
 # f32 reductions) are pinned against the slow reference paths and the
 # analytic oracles: r2c roundtrip/operator parity, SoA bit-identity, the
@@ -48,20 +51,20 @@ DIFFREG_SPECTRAL=c2c DIFFREG_INTERP=scalar \
 DIFFREG_SPECTRAL=c2c DIFFREG_INTERP=scalar \
     cargo test -p diffreg-pfft --release -q --offline
 
-echo "==> [4/13] cargo test --offline (workspace, debug: contract checker on)"
+echo "==> [4/14] cargo test --offline (workspace, debug: contract checker on)"
 # Debug builds default the collective-ordering contract checker to ON
 # (debug_assertions); force it explicitly so the gate survives profile
 # tweaks. This continuously proves the whole solver stack is contract-clean.
 DIFFREG_COMM_CONTRACT=1 cargo test --workspace -q --offline
 
-echo "==> [5/13] chaos & resilience suites (fixed seeds)"
+echo "==> [5/14] chaos & resilience suites (fixed seeds)"
 # Fault-injection drills: seeded latency/reorder/stall/kill schedules, the
 # watchdog, rank-failure containment, and checkpoint/restart. The seeds are
 # fixed inside the tests, so this step is fully deterministic.
 cargo test -p diffreg-comm --release -q --offline --test chaos
 cargo test -p diffreg-core --release -q --offline --test resilience
 
-echo "==> [6/13] telemetry smoke (traced 4-rank 32^3 registration)"
+echo "==> [6/14] telemetry smoke (traced 4-rank 32^3 registration)"
 # Runs the end-to-end observability acceptance test at the release smoke
 # size: span tracing on, Chrome trace validated (one pid per rank, nested
 # fft/interp/transport/newton spans), rank-aggregated phase report with the
@@ -70,7 +73,7 @@ echo "==> [6/13] telemetry smoke (traced 4-rank 32^3 registration)"
 DIFFREG_TELEMETRY_SMOKE_SIZE=32 \
     cargo test -p diffreg-core --release -q --offline --test telemetry
 
-echo "==> [7/13] doctor smoke (trace bundle -> diffreg-doctor analyze --gate)"
+echo "==> [7/14] doctor smoke (trace bundle -> diffreg-doctor analyze --gate)"
 # The doctor acceptance test re-runs the traced 4-rank 32^3 registration with
 # comm-event recording on, checks matching/classification/critical-path
 # invariants in-memory, and (because DIFFREG_DOCTOR_DIR is set) writes the
@@ -86,7 +89,7 @@ cargo run -q -p diffreg-doctor --release --offline -- \
     > /dev/null
 echo "    doctor gate ok (report: target/doctor-smoke/doctor-report.txt)"
 
-echo "==> [8/13] serve smoke (chaos job-runtime campaign + doctor gate)"
+echo "==> [8/14] serve smoke (chaos job-runtime campaign + doctor gate)"
 # Registration-as-a-service drill: the small chaos campaign queues 32 jobs
 # on a 4-rank pool under seeded kills, stalls past the watchdog, and torn
 # checkpoint writes. Acceptance inside the test: zero lost jobs, recovered
@@ -108,13 +111,45 @@ echo "    serve doctor gate ok (report: target/serve-smoke/doctor-report.txt)"
 DIFFREG_SERVE_LOAD_JOBS=48 DIFFREG_SERVE_LOAD_GRID=16 \
     cargo test -p diffreg-serve --release -q --offline --test load -- --ignored
 
-echo "==> [9/13] perf-regression gate (kernel suite medians vs baseline)"
+echo "==> [9/14] incident drill (chaos bundles -> diffreg-doctor incident --gate)"
+# The seeded incident drill runs the 4-rank chaos schedule twice into
+# DIFFREG_INCIDENT_DRILL_DIR. The test itself asserts trigger counts, culprit
+# attribution, SLO alert state, and byte-identical replay; this step then
+# re-verifies from the shell: exactly the expected bundle count on disk,
+# every bundle re-loaded/analyzed/gated through the doctor CLI from the
+# files alone, and the two runs byte-compared on their deterministic files.
+rm -rf target/incident-drill
+DIFFREG_INCIDENT_DRILL_DIR="$PWD/target/incident-drill" \
+    cargo test -p diffreg-serve --release -q --offline --test incidents \
+    chaos_drill_emits_expected_gated_bundles_and_replays_byte_identically
+drill_count=$(ls -d target/incident-drill/run1/incident-* | wc -l)
+if [ "$drill_count" -ne 11 ]; then
+    echo "ERROR: incident drill wrote $drill_count bundles, expected 11" >&2
+    exit 1
+fi
+for d in target/incident-drill/run1/incident-*; do
+    cargo run -q -p diffreg-doctor --release --offline -- \
+        incident --dir "$d" --gate > /dev/null
+done
+for d in target/incident-drill/run1/incident-*; do
+    r2="target/incident-drill/run2/$(basename "$d")"
+    cmp -s "$d/incident.json" "$r2/incident.json" || {
+        echo "ERROR: incident.json differs between drill runs: $d" >&2; exit 1; }
+    if [ -f "$d/convergence.jsonl" ]; then
+        cmp -s "$d/convergence.jsonl" "$r2/convergence.jsonl" || {
+            echo "ERROR: convergence.jsonl differs between drill runs: $d" >&2
+            exit 1; }
+    fi
+done
+echo "    incident drill ok ($drill_count bundles gated, replay byte-identical)"
+
+echo "==> [10/14] perf-regression gate (kernel suite medians vs baseline)"
 # Full protocol: deterministic selftest, end-to-end proof that a 30%
 # synthetic slowdown trips the 25% gate, then a median-of-K comparison
 # against the checked-in BENCH_kernels.json (advisory across hosts).
 scripts/perf_gate.sh
 
-echo "==> [10/13] static analysis (in-tree analyzer: lints + schedule explorer)"
+echo "==> [11/14] static analysis (in-tree analyzer: lints + schedule explorer)"
 # Hard gate: zero new findings against ANALYZER_BASELINE.txt (comm and pfft
 # are held at zero baselined entries). The fixture suite pins every lint and
 # the lexer's edge cases to golden diagnostics; the sched suite pins the
@@ -125,14 +160,14 @@ cargo test -p diffreg-analyzer --release -q --offline
 # Advisory sanitizer pass (skips cleanly when toolchains are unavailable).
 scripts/sanitizers.sh || echo "    sanitizers advisory: non-zero exit tolerated"
 
-echo "==> [11/13] cargo clippy -- -D warnings"
+echo "==> [12/14] cargo clippy -- -D warnings"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "    clippy not installed; skipping lint gate"
 fi
 
-echo "==> [12/13] per-crate smoke tests"
+echo "==> [13/14] per-crate smoke tests"
 for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
              diffreg-spectral diffreg-pfft diffreg-interp \
              diffreg-transport diffreg-optim diffreg-core \
@@ -142,7 +177,7 @@ for crate in diffreg-testkit diffreg-fft diffreg-comm diffreg-grid \
     echo "    $crate ok"
 done
 
-echo "==> [13/13] dependency audit (no external crates allowed)"
+echo "==> [14/14] dependency audit (no external crates allowed)"
 # Every package in Cargo.lock must be one of ours (path deps carry no
 # `source =` line; registry/git deps do).
 if grep -q '^source = ' Cargo.lock; then

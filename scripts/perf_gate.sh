@@ -15,6 +15,10 @@
 #      interpolation to hold >=2x on fft3d/gradient/32 and
 #      interpolation/Tricubic/32 against the frozen pre-overhaul seed
 #      medians (advisory off the seed host).
+#   5. `perf_gate recorder` — flight-recorder overhead check: per-event cost
+#      from the telemetry/recorder_overhead on/off median gap must sit
+#      within a 2 us budget (missing records fail; a breach is advisory,
+#      wall-clock verdicts being host-dependent).
 #
 # Usage:
 #   scripts/perf_gate.sh            # selftest + inflate proof + baseline compare
@@ -33,11 +37,11 @@ SIZES="${PERF_GATE_SIZES:-32}"
 BASELINE="BENCH_kernels.json"
 SCRATCH="target/perf-gate"
 
-echo "==> [perf-gate 1/4] building perf_gate (release, offline)"
+echo "==> [perf-gate 1/5] building perf_gate (release, offline)"
 cargo build --release --offline -p diffreg-bench --bin perf_gate
 GATE=target/release/perf_gate
 
-echo "==> [perf-gate 2/4] gate selftest + synthetic-slowdown proof"
+echo "==> [perf-gate 2/5] gate selftest + synthetic-slowdown proof"
 "$GATE" selftest
 mkdir -p "$SCRATCH"
 # Fast emission for the end-to-end proof: 3 samples, small grids. The two
@@ -65,15 +69,17 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 if [[ "${1:-}" == "--rebase" ]]; then
-    echo "==> [perf-gate 3/4] rebasing $BASELINE"
+    echo "==> [perf-gate 3/5] rebasing $BASELINE"
     "$GATE" emit --out "$BASELINE" --warmup "$WARMUP" --samples "$SAMPLES" --sizes "$SIZES"
-    echo "==> [perf-gate 4/4] speedup gate on the fresh baseline"
+    echo "==> [perf-gate 4/5] speedup gate on the fresh baseline"
     "$GATE" speedup "$BASELINE"
+    echo "==> [perf-gate 5/5] flight-recorder overhead check"
+    "$GATE" recorder "$BASELINE"
     echo "perf gate baseline rebased; commit $BASELINE"
     exit 0
 fi
 
-echo "==> [perf-gate 3/4] comparing against $BASELINE"
+echo "==> [perf-gate 3/5] comparing against $BASELINE"
 if [[ ! -f "$BASELINE" ]]; then
     echo "    no $BASELINE checked in; bootstrapping one (commit it to enable the gate)"
     "$GATE" emit --out "$BASELINE" --warmup "$WARMUP" --samples "$SAMPLES" --sizes "$SIZES"
@@ -81,6 +87,8 @@ if [[ ! -f "$BASELINE" ]]; then
 fi
 "$GATE" emit --out "$SCRATCH/current.json" --warmup "$WARMUP" --samples "$SAMPLES" --sizes "$SIZES"
 "$GATE" check "$BASELINE" "$SCRATCH/current.json" --threshold "$THRESHOLD"
-echo "==> [perf-gate 4/4] kernel-overhaul speedup gate (r2c + SoA vs seed medians)"
+echo "==> [perf-gate 4/5] kernel-overhaul speedup gate (r2c + SoA vs seed medians)"
 "$GATE" speedup "$SCRATCH/current.json"
+echo "==> [perf-gate 5/5] flight-recorder overhead check"
+"$GATE" recorder "$SCRATCH/current.json"
 echo "perf gate OK"
