@@ -1,0 +1,18 @@
+//@ path: crates/optim/src/fixture_hot.rs
+fn hot_inner(n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    v
+}
+fn newton_like(t: &Telemetry, n: usize) {
+    let _s = t.span("newton.iter");
+    let v = hot_inner(n);
+    consume(v);
+}
+fn arena_routed(pool: &Pool, n: usize) {
+    let _s = pool.t.span("newton.pcg");
+    let v = pool.take(n);
+    consume_pooled(v);
+}
+fn cold_setup(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

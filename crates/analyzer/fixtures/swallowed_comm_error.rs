@@ -1,0 +1,18 @@
+//@ path: crates/comm/src/fixture_swallow.rs
+fn f(c: &impl Comm, buf: &mut [f64]) {
+    let _ = c.try_recv(0, buf);
+    let n = c.try_probe(0).ok();
+    match c.try_send(1, buf) {
+        Ok(()) => {}
+        Err(_) => {}
+    }
+    if let Ok(v) = c.try_recv_any(buf) {
+        consume(v, n);
+    }
+}
+fn recovered(c: &impl Comm, buf: &mut [f64]) -> Result<(), CommError> {
+    match c.try_send(1, buf) {
+        Ok(()) => Ok(()),
+        Err(e) => retry(c, buf, e),
+    }
+}

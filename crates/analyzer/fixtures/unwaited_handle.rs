@@ -1,0 +1,20 @@
+//@ path: crates/comm/src/fixture_handles.rs
+fn lossy(c: &impl Comm, buf: &mut [f64]) {
+    let h = c.try_send(1, buf);
+    if buf[0] > 0.0 {
+        h.wait();
+    }
+}
+fn propagated(c: &impl Comm, buf: &mut [f64]) -> Result<(), CommError> {
+    let h = c.try_send(1, buf);
+    h?;
+    Ok(())
+}
+fn consumed_everywhere(c: &impl Comm, buf: &mut [f64]) {
+    let h = c.try_recv(0, buf);
+    if buf[0] > 0.0 {
+        h.wait();
+    } else {
+        drop(h);
+    }
+}

@@ -1,12 +1,25 @@
-//! The checked-in baseline of grandfathered findings.
+//! The checked-in baseline of grandfathered findings (v2 format).
 //!
-//! A finding in the baseline is reported but does not fail the gate, so the
-//! analyzer could be landed with hard-gate semantics *before* every legacy
-//! site was burned down. Entries are content-addressed — keyed on
-//! `(lint, path, trimmed source line)` rather than line numbers — so
-//! unrelated edits above a grandfathered site do not invalidate it, while
-//! *any* edit to the offending line itself forces the finding to be fixed
-//! or explicitly allowed.
+//! A finding in the baseline is reported but does not fail the gate, so a
+//! new lint can be landed with hard-gate semantics *before* every legacy
+//! site is burned down. v2 entries are keyed on
+//! `(lint, path, enclosing function, structural hash)` where the hash is
+//! FNV-1a-64 over the lint name, the enclosing function name, and the code
+//! tokens of the offending line — so neither line-number drift *nor*
+//! whitespace/comment reformatting churns the file, while any real edit to
+//! the offending code invalidates the entry and forces a fix or an explicit
+//! allow.
+//!
+//! File format, tab-separated:
+//!
+//! ```text
+//! <lint>\t<path>\t<function>\t<hash-hex>\t<trimmed source line>
+//! ```
+//!
+//! The trailing snippet is informational (for humans reading diffs); only
+//! the first four fields are matched. Legacy v1 lines
+//! (`lint\tpath\tsnippet`) are counted as unmatchable and surface as stale,
+//! so a stray v1 file fails loudly instead of silently granting amnesty.
 //!
 //! Workflow:
 //! * `diffreg-analyzer check` — new findings fail; baselined ones count.
@@ -19,50 +32,76 @@ use std::collections::HashMap;
 /// The baseline file name, at the repository root.
 pub const BASELINE_FILE: &str = "ANALYZER_BASELINE.txt";
 
-/// A multiset of grandfathered findings keyed on content.
+/// FNV-1a 64-bit over a byte stream — the structural hash primitive.
+pub fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for b in p.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Field separator so ("ab","c") != ("a","bc").
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A multiset of grandfathered findings keyed on the v2 structural key.
 #[derive(Debug, Default)]
 pub struct Baseline {
-    /// `(lint name, path, trimmed line)` -> count.
-    entries: HashMap<(String, String, String), usize>,
+    /// `(lint name, path, function, hash)` -> count.
+    entries: HashMap<(String, String, String, u64), usize>,
+    /// Display strings of entries kept for stale reporting.
+    display: HashMap<(String, String, String, u64), String>,
+    /// v1-format lines found in the file (unmatchable; always stale).
+    legacy: Vec<String>,
 }
 
 impl Baseline {
-    /// Parses the baseline file format: tab-separated
-    /// `lint<TAB>path<TAB>trimmed line`, `#` comments and blanks ignored.
+    /// Parses the baseline file. v2 lines have five tab-separated fields;
+    /// three-field lines are collected as legacy v1 entries (never matched).
+    /// `#` comments and blanks are ignored.
     pub fn parse(text: &str) -> Baseline {
-        let mut entries: HashMap<(String, String, String), usize> = HashMap::new();
+        let mut b = Baseline::default();
         for line in text.lines() {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.splitn(3, '\t');
-            let (Some(lint), Some(path), Some(snippet)) =
-                (parts.next(), parts.next(), parts.next())
-            else {
-                continue;
-            };
-            *entries
-                .entry((lint.to_string(), path.to_string(), snippet.to_string()))
-                .or_insert(0) += 1;
+            let parts: Vec<&str> = line.splitn(5, '\t').collect();
+            if parts.len() == 5 {
+                if let Ok(hash) = u64::from_str_radix(parts[3], 16) {
+                    let key = (
+                        parts[0].to_string(),
+                        parts[1].to_string(),
+                        parts[2].to_string(),
+                        hash,
+                    );
+                    b.display.entry(key.clone()).or_insert_with(|| line.to_string());
+                    *b.entries.entry(key).or_insert(0) += 1;
+                    continue;
+                }
+            }
+            b.legacy.push(line.to_string());
         }
-        Baseline { entries }
+        b
     }
 
-    /// Number of entries (multiset cardinality).
+    /// Number of entries (multiset cardinality, legacy lines included).
     pub fn len(&self) -> usize {
-        self.entries.values().sum()
+        self.entries.values().sum::<usize>() + self.legacy.len()
     }
 
-    /// True when the baseline holds no entries.
+    /// True when the baseline holds no entries at all.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.legacy.is_empty()
     }
 
     /// Consumes one matching entry for `d` if present; returns true when the
     /// finding is grandfathered.
     pub fn matches(&mut self, d: &Diagnostic) -> bool {
-        let key = (d.lint.to_string(), d.path.clone(), d.snippet.clone());
+        let key = (d.lint.to_string(), d.path.clone(), d.func.clone(), d.shash);
         match self.entries.get_mut(&key) {
             Some(n) if *n > 0 => {
                 *n -= 1;
@@ -75,34 +114,46 @@ impl Baseline {
         }
     }
 
-    /// Entries that matched no current finding — fixed or drifted lines that
-    /// should be pruned with `fix-baseline`.
+    /// Entries that matched no current finding — fixed or edited sites that
+    /// should be pruned with `fix-baseline` — plus any legacy v1 lines.
     pub fn stale(&self) -> Vec<String> {
         let mut v: Vec<String> = self
             .entries
             .iter()
-            .map(|((l, p, s), n)| {
+            .map(|(key, n)| {
+                let shown = self
+                    .display
+                    .get(key)
+                    .cloned()
+                    .unwrap_or_else(|| format!("{}\t{}\t{}\t{:016x}", key.0, key.1, key.2, key.3));
                 if *n > 1 {
-                    format!("{l}\t{p}\t{s}  (x{n})")
+                    format!("{shown}  (x{n})")
                 } else {
-                    format!("{l}\t{p}\t{s}")
+                    shown
                 }
             })
             .collect();
+        for l in &self.legacy {
+            v.push(format!("{l}  (legacy v1 entry: regenerate with fix-baseline)"));
+        }
         v.sort();
         v
     }
 
-    /// Serializes `diags` as a fresh baseline file body.
+    /// Serializes `diags` as a fresh v2 baseline file body.
     pub fn render(diags: &[Diagnostic]) -> String {
         let mut lines: Vec<String> = diags
             .iter()
-            .map(|d| format!("{}\t{}\t{}", d.lint, d.path, d.snippet))
+            .map(|d| {
+                format!("{}\t{}\t{}\t{:016x}\t{}", d.lint, d.path, d.func, d.shash, d.snippet)
+            })
             .collect();
         lines.sort();
         let mut out = String::from(
-            "# diffreg-analyzer baseline: grandfathered findings, one per line as\n\
-             # <lint>\\t<path>\\t<trimmed source line>.\n\
+            "# diffreg-analyzer baseline v2: grandfathered findings, one per line as\n\
+             # <lint>\\t<path>\\t<enclosing fn>\\t<structural hash>\\t<trimmed source line>.\n\
+             # The hash is FNV-1a-64 over (lint, fn, code tokens of the line): entries\n\
+             # survive line drift and reformatting, but any real edit invalidates them.\n\
              # Regenerate with: cargo run -p diffreg-analyzer -- fix-baseline\n\
              # Policy: burn entries down over time; never add new ones to dodge the gate.\n",
         );
@@ -119,7 +170,7 @@ mod tests {
     use super::*;
     use crate::lint::Lint;
 
-    fn d(lint: Lint, path: &str, snippet: &str) -> Diagnostic {
+    fn d(lint: Lint, path: &str, func: &str, snippet: &str) -> Diagnostic {
         Diagnostic {
             lint,
             path: path.into(),
@@ -127,14 +178,16 @@ mod tests {
             col: 2,
             message: "m".into(),
             snippet: snippet.into(),
+            func: func.into(),
+            shash: fnv1a(&[lint.name(), func, snippet]),
         }
     }
 
     #[test]
     fn round_trip_and_multiset_matching() {
-        let d1 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "foo.unwrap();");
-        let d2 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "foo.unwrap();");
-        let d3 = d(Lint::FloatEq, "crates/y/src/b.rs", "a == 0.0");
+        let d1 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "foo.unwrap();");
+        let d2 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "foo.unwrap();");
+        let d3 = d(Lint::FloatEq, "crates/y/src/b.rs", "g", "a == 0.0");
         let text = Baseline::render(&[d1.clone(), d2.clone(), d3.clone()]);
         let mut b = Baseline::parse(&text);
         assert_eq!(b.len(), 3);
@@ -147,16 +200,46 @@ mod tests {
     }
 
     #[test]
-    fn stale_entries_are_reported() {
-        let text = "no-unwrap-in-lib\tcrates/x/src/a.rs\tgone.unwrap();\n";
-        let b = Baseline::parse(text);
+    fn hash_mismatch_is_not_grandfathered() {
+        let old = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "foo.unwrap();");
+        let text = Baseline::render(&[old]);
+        let mut b = Baseline::parse(&text);
+        // Same site, but the offending line was edited → different hash.
+        let edited = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "bar.unwrap();");
+        assert!(!b.matches(&edited));
         assert_eq!(b.stale().len(), 1);
-        assert!(b.stale()[0].contains("gone.unwrap()"));
+    }
+
+    #[test]
+    fn same_code_different_function_is_distinct() {
+        let in_f = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "x.unwrap();");
+        let text = Baseline::render(&[in_f.clone()]);
+        let mut b = Baseline::parse(&text);
+        let in_g = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "g", "x.unwrap();");
+        assert!(!b.matches(&in_g), "keys must include the enclosing function");
+        assert!(b.matches(&in_f));
+    }
+
+    #[test]
+    fn legacy_v1_lines_are_stale_not_matched() {
+        let text = "no-unwrap-in-lib\tcrates/x/src/a.rs\tfoo.unwrap();\n";
+        let mut b = Baseline::parse(text);
+        assert_eq!(b.len(), 1);
+        let d1 = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "foo.unwrap();");
+        assert!(!b.matches(&d1));
+        assert_eq!(b.stale().len(), 1);
+        assert!(b.stale()[0].contains("legacy v1"));
     }
 
     #[test]
     fn comments_and_blanks_ignored() {
         let b = Baseline::parse("# header\n\n# more\n");
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fnv_separates_field_boundaries() {
+        assert_ne!(fnv1a(&["ab", "c"]), fnv1a(&["a", "bc"]));
+        assert_ne!(fnv1a(&["x"]), fnv1a(&["x", ""]));
     }
 }

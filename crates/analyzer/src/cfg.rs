@@ -1,0 +1,364 @@
+//! Control-flow graphs lowered from [`crate::parse`] event trees.
+//!
+//! The CFG models exactly what the path-sensitive lints need: basic blocks
+//! of *events* (definitions of tracked values, identifier uses, `?`
+//! operators) connected by successor edges, with a distinguished normal
+//! exit and error exit (the target of every `?`). Branch arms fork and
+//! rejoin; loops get a back edge plus the zero-iteration bypass; `return`
+//! jumps straight to the exit. Closures are inlined as straight-line code —
+//! conservative for the must-consume analysis (a consume inside a closure
+//! counts), which keeps iterator-chain code free of false positives.
+
+use crate::parse::{LetNode, Node};
+
+/// One event inside a basic block.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A tracked value is defined here (a `let` the classifier accepted).
+    Def {
+        /// Bound variable name.
+        name: String,
+        /// 1-based source line of the `let`.
+        line: usize,
+        /// 1-based source column.
+        col: usize,
+        /// Classifier-provided description of the value (for diagnostics).
+        desc: String,
+    },
+    /// An identifier is mentioned (read, move, method receiver, ...).
+    Use(String),
+}
+
+/// A basic block: events in order plus successor block ids.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Events in program order.
+    pub evs: Vec<Ev>,
+    /// Successor block ids.
+    pub succ: Vec<usize>,
+}
+
+/// A function body CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks; ids are indices.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: usize,
+    /// Normal exit block id (fallthrough and `return` land here).
+    pub exit: usize,
+    /// Error exit block id (`?` propagation lands here).
+    pub err_exit: usize,
+}
+
+/// Decides whether a `let` defines a value the analysis should track;
+/// returns a short description used in diagnostics.
+pub type Classify<'c> = &'c dyn Fn(&LetNode) -> Option<String>;
+
+/// Builds the CFG for a lowered function body. `classify` picks which
+/// `let` bindings become tracked [`Ev::Def`]s.
+pub fn build(body: &[Node], classify: Classify) -> Cfg {
+    let mut b = Builder {
+        blocks: vec![Block::default(), Block::default(), Block::default()],
+        classify,
+    };
+    // Block 0 = entry, 1 = exit, 2 = err_exit.
+    let last = b.seq(0, body);
+    b.edge(last, 1);
+    Cfg { blocks: b.blocks, entry: 0, exit: 1, err_exit: 2 }
+}
+
+struct Builder<'c> {
+    blocks: Vec<Block>,
+    classify: Classify<'c>,
+}
+
+const EXIT: usize = 1;
+const ERR_EXIT: usize = 2;
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succ.contains(&to) {
+            self.blocks[from].succ.push(to);
+        }
+    }
+
+    /// Lowers a node sequence starting in block `cur`; returns the block the
+    /// fall-through path ends in.
+    fn seq(&mut self, mut cur: usize, nodes: &[Node]) -> usize {
+        for n in nodes {
+            cur = self.node(cur, n);
+        }
+        cur
+    }
+
+    fn node(&mut self, cur: usize, n: &Node) -> usize {
+        match n {
+            Node::Use { name, .. } => {
+                self.blocks[cur].evs.push(Ev::Use(name.clone()));
+                cur
+            }
+            Node::Lit { .. } => cur,
+            Node::Try { .. } => {
+                // `?`: either continue or leave through the error exit. The
+                // error path counts as "consumed" for must-consume (the value
+                // never existed / was propagated).
+                let next = self.new_block();
+                self.edge(cur, next);
+                self.edge(cur, ERR_EXIT);
+                next
+            }
+            Node::Call(c) => {
+                // The receiver of a method call is a use of that variable
+                // (already emitted as Use by the parser? No — the parser
+                // suppresses path/field idents; receivers come through here).
+                if let Some(recv) = &c.recv {
+                    self.blocks[cur].evs.push(Ev::Use(recv.clone()));
+                }
+                cur
+            }
+            Node::Let(l) => {
+                // Initializer events happen first.
+                let cur = self.seq(cur, &l.init);
+                if let Some(desc) = (self.classify)(l) {
+                    if let Some(name) = &l.name {
+                        self.blocks[cur].evs.push(Ev::Def {
+                            name: name.clone(),
+                            line: l.line,
+                            col: l.col,
+                            desc,
+                        });
+                    }
+                }
+                cur
+            }
+            Node::Branch(br) => {
+                let cur = self.seq(cur, &br.cond);
+                let join = self.new_block();
+                for arm in &br.arms {
+                    let start = self.new_block();
+                    self.edge(cur, start);
+                    let end = self.seq(start, &arm.body);
+                    self.edge(end, join);
+                }
+                if br.arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                join
+            }
+            Node::Loop { body, .. } => {
+                let header = self.new_block();
+                self.edge(cur, header);
+                let body_start = self.new_block();
+                let after = self.new_block();
+                self.edge(header, body_start);
+                self.edge(header, after); // zero iterations / loop exit
+                let body_end = self.seq(body_start, body);
+                self.edge(body_end, header); // back edge
+                after
+            }
+            Node::Return { value, .. } => {
+                let cur = self.seq(cur, value);
+                self.edge(cur, EXIT);
+                // Continuation is unreachable; give it a fresh block with no
+                // predecessors so later statements don't leak edges.
+                self.new_block()
+            }
+            Node::Closure { body } => self.seq(cur, body),
+            Node::Block(body) => self.seq(cur, body),
+        }
+    }
+}
+
+/// One must-consume violation: a tracked definition with a path to scope
+/// exit on which it is never used.
+#[derive(Debug, Clone)]
+pub struct Leak {
+    /// The bound variable name.
+    pub name: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+    /// 1-based column of the definition.
+    pub col: usize,
+    /// Classifier description of the tracked value.
+    pub desc: String,
+}
+
+/// Finds tracked definitions that are not used on every path from their
+/// definition to the normal exit. Paths through the error exit (`?`
+/// propagation) are treated as consuming.
+pub fn unconsumed_defs(cfg: &Cfg) -> Vec<Leak> {
+    let mut leaks = Vec::new();
+    for (bid, block) in cfg.blocks.iter().enumerate() {
+        for (pos, ev) in block.evs.iter().enumerate() {
+            if let Ev::Def { name, line, col, desc } = ev {
+                if !consumed_on_all_paths(cfg, bid, pos, name) {
+                    leaks.push(Leak {
+                        name: name.clone(),
+                        line: *line,
+                        col: *col,
+                        desc: desc.clone(),
+                    });
+                }
+            }
+        }
+    }
+    leaks.sort_by_key(|l| (l.line, l.col));
+    leaks
+}
+
+/// Greatest-fixpoint backward dataflow: `ok[b]` = every path from the start
+/// of block `b` to the exit uses `name`. The definition site checks the
+/// remainder of its own block first.
+fn consumed_on_all_paths(cfg: &Cfg, def_block: usize, def_pos: usize, name: &str) -> bool {
+    let uses_after = |b: usize, from: usize| {
+        cfg.blocks[b].evs[from..]
+            .iter()
+            .any(|e| matches!(e, Ev::Use(n) if n == name))
+    };
+    let n = cfg.blocks.len();
+    // ok[b]: from the *start* of b, every path to exit consumes the value.
+    let mut ok = vec![true; n];
+    ok[cfg.exit] = false;
+    ok[cfg.err_exit] = true; // `?` propagated: value was dropped legitimately
+    // Iterate to the greatest fixpoint (monotone decreasing).
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            if b == cfg.exit || b == cfg.err_exit {
+                continue;
+            }
+            let cur = if uses_after(b, 0) {
+                true
+            } else if cfg.blocks[b].succ.is_empty() {
+                // Dangling block (unreachable continuation): vacuously fine.
+                true
+            } else {
+                cfg.blocks[b].succ.iter().all(|&s| ok[s])
+            };
+            if cur != ok[b] {
+                ok[b] = cur;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // From the definition site: rest of the def block, else all successors.
+    if uses_after(def_block, def_pos + 1) {
+        return true;
+    }
+    if cfg.blocks[def_block].succ.is_empty() {
+        return true;
+    }
+    cfg.blocks[def_block].succ.iter().all(|&s| ok[s])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scope::SourceFile;
+    use std::path::PathBuf;
+
+    fn leaks_of(src: &str) -> Vec<String> {
+        let sf = SourceFile::parse(&PathBuf::from("crates/comm/src/demo.rs"), src);
+        let ast = parse_file(&sf);
+        let classify: crate::cfg::Classify = &|l: &LetNode| {
+            let tracked = l.init.iter().any(|n| {
+                matches!(n, Node::Call(c) if c.name.starts_with("try_"))
+            });
+            if tracked {
+                Some("pending result".to_string())
+            } else {
+                None
+            }
+        };
+        let cfg = build(&ast.fns[0].body, classify);
+        unconsumed_defs(&cfg).into_iter().map(|l| l.name).collect()
+    }
+
+    #[test]
+    fn straight_line_consume_is_clean() {
+        assert!(leaks_of(
+            "fn f(c: &C) {\n    let h = c.try_barrier();\n    h.unwrap();\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn never_consumed_leaks() {
+        assert_eq!(
+            leaks_of("fn f(c: &C) {\n    let h = c.try_barrier();\n    other();\n}\n"),
+            vec!["h"]
+        );
+    }
+
+    #[test]
+    fn one_armed_consume_leaks() {
+        let src = "fn f(c: &C, flag: bool) {\n\
+                let h = c.try_barrier();\n\
+                if flag {\n\
+                    h.unwrap();\n\
+                }\n\
+             }\n";
+        assert_eq!(leaks_of(src), vec!["h"]);
+    }
+
+    #[test]
+    fn both_arms_consume_is_clean() {
+        let src = "fn f(c: &C, flag: bool) {\n\
+                let h = c.try_barrier();\n\
+                if flag {\n\
+                    h.unwrap();\n\
+                } else {\n\
+                    drop(h);\n\
+                }\n\
+             }\n";
+        assert!(leaks_of(src).is_empty());
+    }
+
+    #[test]
+    fn early_return_path_leaks() {
+        let src = "fn f(c: &C, flag: bool) {\n\
+                let h = c.try_barrier();\n\
+                if flag {\n\
+                    return;\n\
+                }\n\
+                h.unwrap();\n\
+             }\n";
+        assert_eq!(leaks_of(src), vec!["h"]);
+    }
+
+    #[test]
+    fn question_mark_path_counts_as_consumed() {
+        let src = "fn f(c: &C) -> Result<(), E> {\n\
+                let h = c.try_barrier();\n\
+                probe(c)?;\n\
+                h?;\n\
+                Ok(())\n\
+             }\n";
+        assert!(leaks_of(src).is_empty());
+    }
+
+    #[test]
+    fn consume_inside_loop_counts() {
+        // Conservative: a use inside a loop body counts as consuming even
+        // though the loop may run zero times — acceptable noise floor.
+        let src = "fn f(c: &C, xs: &[u32]) {\n\
+                let h = c.try_barrier();\n\
+                let mut sink = Vec::new();\n\
+                sink.push(h);\n\
+                for x in xs {\n\
+                    use_it(x);\n\
+                }\n\
+             }\n";
+        assert!(leaks_of(src).is_empty());
+    }
+}

@@ -4,14 +4,19 @@
 //! layers only check *dynamically* into checks that run on every CI pass
 //! without ever executing the solver.
 //!
-//! * **Lint engine** ([`lexer`], [`lint`], [`lints`], [`scope`],
-//!   [`baseline`], [`engine`]) — a small hand-rolled Rust lexer feeds a
-//!   registry of workspace-specific lints (collectives inside rank
-//!   branches, `unwrap` in library code, float `==`, `debug_assert!` side
-//!   effects, undocumented `unsafe`, missing docs on public functions,
-//!   missing `#![forbid(unsafe_code)]`). Findings are suppressible per
-//!   site with `// diffreg-allow(<lint>): <reason>` and grandfatherable
-//!   via a content-addressed baseline file, so the gate is hard from day
+//! * **Analysis engine** ([`lexer`], [`scope`], [`parse`], [`cfg`],
+//!   [`callgraph`], [`dataflow`], [`lint`], [`lints`], [`baseline`],
+//!   [`engine`]) — a hand-rolled pipeline: lexer → per-function ASTs →
+//!   control-flow graphs → workspace call graph → dataflow lints. The
+//!   syntactic lints ([`lints`]) catch local hazards (`unwrap` in library
+//!   code, float `==`, `debug_assert!` side effects, undocumented
+//!   `unsafe`, missing docs, missing `#![forbid(unsafe_code)]`); the
+//!   dataflow lints ([`dataflow`]) prove flow-sensitive, interprocedural
+//!   properties — collective-sequence consistency across rank-dependent
+//!   branches, must-consume handle lifecycles, allocation-free hot paths,
+//!   and swallowed `CommError`s. Findings are suppressible per site with
+//!   `// diffreg-allow(<lint>): <reason>` and grandfatherable via a
+//!   structurally-hashed v2 baseline file, so the gate is hard from day
 //!   one.
 //! * **Schedule explorer** ([`sched`]) — a loom-lite bounded-preemption
 //!   DFS over the yield points of a cooperative re-implementation of the
@@ -25,9 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod lint;
 pub mod lints;
+pub mod parse;
 pub mod sched;
 pub mod scope;

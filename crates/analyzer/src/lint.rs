@@ -20,11 +20,31 @@ use std::fmt;
 /// The project lints, in registry order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
-    /// A `Comm` collective call site lexically inside an `if`/`match` whose
-    /// condition mentions `rank` — the static counterpart of the runtime
-    /// collective-ordering contract checker: one rank skipping a `barrier`
-    /// or `allreduce` is a guaranteed hang on a real machine.
-    CollectiveInRankBranch,
+    /// A rank-dependent branch across which the *resolved* collective
+    /// sequence diverges — the interprocedural, path-sensitive upgrade of
+    /// the old syntactic `collective-in-rank-branch` lint and the static
+    /// counterpart of the runtime collective-ordering contract checker.
+    /// Each arm (plus the function continuation, empty for arms that
+    /// return early) is lowered through the workspace call graph to its
+    /// collective sequence; any mismatch is a guaranteed hang on a real
+    /// machine. Symmetric code that merely *computes* differently per rank
+    /// no longer fires.
+    CollectiveConsistency,
+    /// A `try_*` comm result / pending handle bound by a `let` but not
+    /// consumed on every control-flow path before scope exit. A dropped
+    /// pending operation is a silent protocol desync; a dropped `Result`
+    /// swallows a `CommError`.
+    UnwaitedHandle,
+    /// An allocating call (`Vec::new`, `with_capacity`, `vec!`, `collect`,
+    /// `to_vec`, ...) in a function statically reachable from the
+    /// `newton.iter` / `newton.pcg` / `interp.eval` telemetry spans without
+    /// going through `grid::arena` — the compile-time gate for the
+    /// `zero_alloc.rs` steady-state invariant.
+    AllocInHotPath,
+    /// A `CommError` result that is discarded (`let _ =`), collapsed
+    /// (`.ok()`, `.unwrap_or*`) or matched into an empty `Err` arm without
+    /// reaching a typed recovery path.
+    SwallowedCommError,
     /// `unwrap()` / `expect()` / `panic!` in non-test library code of the
     /// solver crates. Library paths must surface typed errors
     /// (`CommError`, ...) or carry an explicit allow with a reason.
@@ -50,7 +70,10 @@ pub enum Lint {
 
 /// All lints, in registry order.
 pub const ALL_LINTS: &[Lint] = &[
-    Lint::CollectiveInRankBranch,
+    Lint::CollectiveConsistency,
+    Lint::UnwaitedHandle,
+    Lint::AllocInHotPath,
+    Lint::SwallowedCommError,
     Lint::NoUnwrapInLib,
     Lint::FloatEq,
     Lint::DebugAssertSideEffect,
@@ -64,7 +87,10 @@ impl Lint {
     /// The kebab-case name used in output and `diffreg-allow(...)` comments.
     pub fn name(self) -> &'static str {
         match self {
-            Lint::CollectiveInRankBranch => "collective-in-rank-branch",
+            Lint::CollectiveConsistency => "collective-consistency",
+            Lint::UnwaitedHandle => "unwaited-handle",
+            Lint::AllocInHotPath => "alloc-in-hot-path",
+            Lint::SwallowedCommError => "swallowed-comm-error",
             Lint::NoUnwrapInLib => "no-unwrap-in-lib",
             Lint::FloatEq => "float-eq",
             Lint::DebugAssertSideEffect => "debug-assert-side-effect",
@@ -83,9 +109,16 @@ impl Lint {
     /// One-line description for `diffreg-analyzer list`.
     pub fn description(self) -> &'static str {
         match self {
-            Lint::CollectiveInRankBranch => {
-                "collective call inside an if/match on `rank` (static hang detector)"
+            Lint::CollectiveConsistency => {
+                "collective sequence diverges across a rank-dependent branch (static hang proof)"
             }
+            Lint::UnwaitedHandle => {
+                "try_*/pending comm result not consumed on every path before scope exit"
+            }
+            Lint::AllocInHotPath => {
+                "allocation outside grid::arena in a fn reachable from a hot telemetry span"
+            }
+            Lint::SwallowedCommError => "CommError dropped or collapsed without typed recovery",
             Lint::NoUnwrapInLib => "unwrap()/expect()/panic! in non-test solver library code",
             Lint::FloatEq => "==/!= between float-typed operands outside tests",
             Lint::DebugAssertSideEffect => "side effect inside debug_assert! (vanishes in release)",
@@ -116,9 +149,16 @@ pub struct Diagnostic {
     pub col: usize,
     /// Human-readable explanation with site context.
     pub message: String,
-    /// The trimmed source line — the content-addressed key the baseline
-    /// matches on, so grandfathered findings survive line-number drift.
+    /// The trimmed source line (informational in baseline v2; the hash is
+    /// the content-addressed key).
     pub snippet: String,
+    /// Name of the enclosing function (`""` for file-level findings) —
+    /// part of the v2 baseline key.
+    pub func: String,
+    /// FNV-1a structural hash over (lint, enclosing fn, code tokens of the
+    /// finding's line) — the v2 baseline key component that survives both
+    /// line-number drift and whitespace/comment reformatting.
+    pub shash: u64,
 }
 
 impl Diagnostic {

@@ -8,145 +8,21 @@ use crate::lexer::TokenKind;
 use crate::lint::{Diagnostic, Lint};
 use crate::scope::{ScopeKind, SourceFile};
 
-/// The `Comm` collective operations the rank-branch lint guards. Every one
-/// of these must be called on all ranks of the communicator in the same
-/// order; a rank-gated call is a hang.
-pub const COLLECTIVES: &[&str] = &[
-    "barrier",
-    "try_barrier",
-    "allreduce",
-    "try_allreduce",
-    "allreduce_usize",
-    "broadcast",
-    "bcast",
-    "allgather",
-    "alltoallv",
-    "try_alltoallv",
-    "scan",
-    "sum_f64",
-    "max_f64",
-    "min_f64",
-    "split",
-];
-
 /// Crates whose non-test library code must not `unwrap()`/`expect()`/
 /// `panic!` (they form the distributed solve path).
 pub const NO_UNWRAP_CRATES: &[&str] =
     &["comm", "fft", "pfft", "grid", "spectral", "interp", "transport", "optim", "core"];
 
 fn diag(f: &SourceFile, lint: Lint, line: usize, col: usize, message: String) -> Diagnostic {
-    Diagnostic { lint, path: f.path.clone(), line, col, message, snippet: f.snippet(line) }
-}
-
-/// `collective-in-rank-branch`: a collective call lexically inside an
-/// `if`/`match` whose condition mentions `rank`.
-pub fn collective_in_rank_branch(f: &SourceFile, out: &mut Vec<Diagnostic>) {
-    // Gate stack: one entry per open `{`; `true` = the block's execution is
-    // rank-dependent (directly or via an enclosing gated block).
-    let mut gates: Vec<bool> = Vec::new();
-    // When an `if`/`match` condition mentioned `rank`, the *next* block at
-    // brace level — and, for `if`, its `else` blocks — are gated.
-    let mut pending_gate = false;
-    // The condition text that opened the innermost gate, for the message.
-    let mut gate_cond: Vec<Option<String>> = Vec::new();
-    let mut pending_cond = String::new();
-    // After closing a gated `if` block, an immediately following `else`
-    // re-arms the gate (the else branch is equally rank-dependent).
-    let mut last_closed_gated: Option<String> = None;
-
-    let code = &f.code;
-    let mut i = 0usize;
-    while i < code.len() {
-        let tok = &f.tokens[code[i]];
-        if tok.kind == TokenKind::Ident && (tok.text == "if" || tok.text == "match") {
-            // Scan the condition: tokens up to the `{` at bracket depth 0.
-            let mut depth = 0isize;
-            let mut mentions_rank = false;
-            let mut cond = String::new();
-            let mut j = i + 1;
-            while j < code.len() {
-                let t = &f.tokens[code[j]];
-                match t.text.as_str() {
-                    "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
-                    ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
-                    "{" if t.kind == TokenKind::Punct && depth == 0 => break,
-                    ";" if t.kind == TokenKind::Punct && depth == 0 => break,
-                    _ => {}
-                }
-                if t.kind == TokenKind::Ident && t.text.to_lowercase().contains("rank") {
-                    mentions_rank = true;
-                }
-                if cond.len() < 60 {
-                    if !cond.is_empty() {
-                        cond.push(' ');
-                    }
-                    cond.push_str(&t.text);
-                }
-                j += 1;
-            }
-            if mentions_rank {
-                pending_gate = true;
-                pending_cond = cond;
-            }
-            last_closed_gated = None;
-            i += 1;
-            continue;
-        }
-        match (tok.kind, tok.text.as_str()) {
-            (TokenKind::Ident, "else") => {
-                // `else` / `else if` after a gated if: the branch is gated.
-                if let Some(cond) = last_closed_gated.take() {
-                    pending_gate = true;
-                    pending_cond = cond;
-                }
-            }
-            (TokenKind::Punct, "{") => {
-                let parent = gates.last().copied().unwrap_or(false);
-                gates.push(parent || pending_gate);
-                gate_cond.push(if pending_gate {
-                    Some(std::mem::take(&mut pending_cond))
-                } else {
-                    gate_cond.last().cloned().flatten()
-                });
-                pending_gate = false;
-                last_closed_gated = None;
-            }
-            (TokenKind::Punct, "}") => {
-                let was_gated = gates.pop().unwrap_or(false);
-                let cond = gate_cond.pop().flatten();
-                let parent = gates.last().copied().unwrap_or(false);
-                last_closed_gated = if was_gated && !parent { cond } else { None };
-            }
-            (TokenKind::Ident, name) => {
-                let gated = gates.last().copied().unwrap_or(false);
-                if gated
-                    && COLLECTIVES.contains(&name)
-                    && i > 0
-                    && f.tokens[code[i - 1]].is_punct(".")
-                    && i + 1 < code.len()
-                    && f.tokens[code[i + 1]].is_punct("(")
-                {
-                    let cond = gate_cond
-                        .iter()
-                        .rev()
-                        .find_map(|c| c.clone())
-                        .unwrap_or_else(|| "rank".into());
-                    out.push(diag(
-                        f,
-                        Lint::CollectiveInRankBranch,
-                        tok.line,
-                        tok.col,
-                        format!(
-                            "collective `{name}` called inside a branch on `{cond}`: a \
-                             rank-dependent collective is a guaranteed hang (every rank must \
-                             call it, in the same order)"
-                        ),
-                    ));
-                }
-            }
-            _ => {}
-        }
-        i += 1;
+    Diagnostic {
+        lint,
+        path: f.path.clone(),
+        line,
+        col,
+        message,
+        snippet: f.snippet(line),
+        func: String::new(),
+        shash: 0,
     }
 }
 
@@ -572,11 +448,11 @@ pub fn forbid_unsafe_missing(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Runs every lint over one file (suppressions and baselines are applied by
-/// the engine, not here).
+/// Runs every *syntactic* lint over one file (the dataflow lints live in
+/// [`crate::dataflow`]; suppressions and baselines are applied by the
+/// engine, not here).
 pub fn run_all(f: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    collective_in_rank_branch(f, &mut out);
     no_unwrap_in_lib(f, &mut out);
     float_eq(f, &mut out);
     debug_assert_side_effect(f, &mut out);

@@ -457,6 +457,7 @@ impl Comm for SchedComm {
         }
         let send_tag = Self::coll_tag(CollOp::ReduceUsizeSend);
         let result_tag = Self::coll_tag(CollOp::ReduceUsizeResult);
+        // diffreg-allow(collective-consistency): interior of the collective implementation — rank 0 is the aggregation root by protocol design
         if self.rank == 0 {
             let mut acc = vals.to_vec();
             for src in 1..self.size() {

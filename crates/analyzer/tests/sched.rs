@@ -9,8 +9,8 @@ use diffreg_comm::{Comm, ReduceOp};
 /// rank branch. Rank 1 skips the barrier, so every schedule where ranks
 /// 0.. arrive at the barrier deadlocks (the barrier can never complete).
 fn rank_gated_barrier(c: &diffreg_analyzer::sched::SchedComm) -> usize {
+    // diffreg-allow(collective-consistency): the deliberately broken fixture the explorer must catch
     if c.rank() != 1 {
-        // diffreg-allow(collective-in-rank-branch): the deliberately broken fixture the explorer must catch
         c.barrier();
     }
     c.rank()
@@ -171,4 +171,50 @@ fn sendrecv_ring_is_clean_at_three_ranks() {
     });
     assert!(rep.ok(), "{}", rep.summary());
     assert_eq!(rep.reference, Some(vec![2, 0, 1]));
+}
+
+#[test]
+fn serve_gang_split_and_outcome_allgather_is_clean() {
+    // One round of the serve pool protocol (serve/src/runtime.rs): intake
+    // broadcast on the world, split into gangs (the plan IS the coloring),
+    // a gang-internal collective for the attempt, then the world-wide
+    // outcome allgather that rebuilds the replicated table.
+    for ranks in [2usize, 3] {
+        let rep = Explorer::new(ranks).budget(512).explore(move |c| {
+            let mut intake = if c.rank() == 0 { vec![42usize] } else { Vec::new() };
+            c.broadcast(0, &mut intake);
+            // Plan: rank 0 is a one-rank gang, everyone else forms gang 1.
+            let color = usize::from(c.rank() != 0);
+            let sub = c.split(color, c.rank());
+            let mut v = [1.0];
+            sub.allreduce(&mut v, ReduceOp::Sum);
+            let outcome = intake[0] * 100 + v[0] as usize;
+            let all = c.allgather(vec![outcome]);
+            all.iter().map(|g| g[0]).sum::<usize>()
+        });
+        assert!(rep.ok(), "ranks={ranks}: {}", rep.summary());
+        // Every rank folds the same replicated outcome vector.
+        let want = if ranks == 2 { 2 * 4201 } else { 4201 + 2 * 4202 };
+        assert_eq!(rep.reference, Some(vec![want; ranks]), "ranks={ranks}");
+    }
+}
+
+#[test]
+fn intake_broadcast_with_one_rank_killed_is_contained() {
+    // The run_gang containment scenario: a rank dies right after intake.
+    // The explorer must attribute the kill to rank 2 and tear the world
+    // down instead of letting ranks 0-1 hang in the outcome allgather.
+    let rep = Explorer::new(3).explore(|c| {
+        let mut intake = if c.rank() == 0 { vec![7usize] } else { Vec::new() };
+        c.broadcast(0, &mut intake);
+        if c.rank() == 2 {
+            panic!("injected kill after intake");
+        }
+        let all = c.allgather(vec![intake[0] + c.rank()]);
+        all.iter().map(|g| g[0]).sum::<usize>()
+    });
+    let (r, msg, _sched) = rep.panic.as_ref().expect("kill must be reported");
+    assert_eq!(*r, 2);
+    assert!(msg.contains("injected kill"), "{msg}");
+    assert!(!rep.ok());
 }

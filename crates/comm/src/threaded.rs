@@ -762,6 +762,7 @@ impl ThreadComm {
         }
         let send_tag = self.coll_tag(CollOp::ReduceSend, e);
         let result_tag = self.coll_tag(CollOp::ReduceResult, e);
+        // diffreg-allow(collective-consistency): interior of the collective implementation — rank 0 is the aggregation root by protocol design
         if self.rank == 0 {
             let mut acc = vals.to_vec();
             for src in 1..self.size {
@@ -811,6 +812,7 @@ impl ThreadComm {
         }
         let send_tag = self.coll_tag(CollOp::ReduceUsizeSend, e);
         let result_tag = self.coll_tag(CollOp::ReduceUsizeResult, e);
+        // diffreg-allow(collective-consistency): interior of the collective implementation — rank 0 is the aggregation root by protocol design
         if self.rank == 0 {
             let mut acc = vals.to_vec();
             for src in 1..self.size {

@@ -98,12 +98,11 @@ fn collectives_under_chaos_match_fault_free_bitwise() {
 fn mismatched_collectives_are_reported_precisely() {
     let out = run_threaded_checked(2, |c| {
         c.set_contract_checking(true);
+        // diffreg-allow(collective-consistency): deliberate mismatch — the contract checker must report it
         if c.rank() == 0 {
             let mut v = vec![0.0f64];
-            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the contract checker must report it
             c.allreduce(&mut v, ReduceOp::Sum); // rank 0 reduces…
         } else {
-            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the contract checker must report it
             let _ = c.allgather(vec![1u8]); // …rank 1 gathers
         }
     });
@@ -131,12 +130,11 @@ fn watchdog_fires_on_mismatched_collective_without_checker() {
         } else {
             Duration::from_millis(600)
         }));
+        // diffreg-allow(collective-consistency): deliberate mismatch — the watchdog must convert it to a timeout
         if c.rank() == 0 {
             let mut v = vec![0.0f64];
-            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the watchdog must convert it to a timeout
             c.try_allreduce(&mut v, ReduceOp::Sum).unwrap_err()
         } else {
-            // diffreg-allow(collective-in-rank-branch): deliberate mismatch — the watchdog must convert it to a timeout
             c.try_barrier().unwrap_err()
         }
     });

@@ -92,6 +92,15 @@ pub enum CheckpointError {
     },
     /// Well-formed checkpoint followed by garbage bytes.
     TrailingBytes(usize),
+    /// A filesystem operation failed while persisting or rotating a
+    /// checkpoint generation (`op` names the step, `detail` carries the OS
+    /// error text).
+    Io {
+        /// The save step that failed (`"create dir"`, `"write temp"`, ...).
+        op: &'static str,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -115,6 +124,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after checkpoint payload")
+            }
+            CheckpointError::Io { op, detail } => {
+                write!(f, "checkpoint I/O failure during {op}: {detail}")
             }
         }
     }
@@ -201,23 +213,16 @@ impl SolverCheckpoint {
     /// typed [`CheckpointError`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut off = 0usize;
-        let take = |off: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
-            let s = bytes
-                .get(*off..*off + n)
-                .ok_or(CheckpointError::Truncated { need: n, at: *off })?;
-            *off += n;
-            Ok(s)
-        };
-        let magic = take(&mut off, 4)?;
+        let magic = take_slice(bytes, &mut off, 4)?;
         if magic != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
-        let version = u32::from_le_bytes(take(&mut off, 4)?.try_into().unwrap());
+        let version = u32::from_le_bytes(take_array::<4>(bytes, &mut off)?);
         if version != VERSION {
             return Err(CheckpointError::BadVersion(version));
         }
         let u64_at = |off: &mut usize| -> Result<u64, CheckpointError> {
-            Ok(u64::from_le_bytes(take(off, 8)?.try_into().unwrap()))
+            Ok(u64::from_le_bytes(take_array::<8>(bytes, off)?))
         };
         let payload_len = u64_at(&mut off)? as usize;
         let checksum = u64_at(&mut off)?;
@@ -232,8 +237,8 @@ impl SolverCheckpoint {
         }
         let level = u64_at(&mut off)? as usize;
         let completed_iters = u64_at(&mut off)? as usize;
-        let beta = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
-        let g0norm = f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap());
+        let beta = f64::from_le_bytes(take_array::<8>(bytes, &mut off)?);
+        let g0norm = f64::from_le_bytes(take_array::<8>(bytes, &mut off)?);
         let n = u64_at(&mut off)? as usize;
         // The slab length must be consistent with the checksummed payload
         // length, or the reserve below could balloon on a hostile header.
@@ -245,7 +250,7 @@ impl SolverCheckpoint {
         for comp in velocity.iter_mut() {
             comp.reserve_exact(n);
             for _ in 0..n {
-                comp.push(f64::from_le_bytes(take(&mut off, 8)?.try_into().unwrap()));
+                comp.push(f64::from_le_bytes(take_array::<8>(bytes, &mut off)?));
             }
         }
         if off != bytes.len() {
@@ -253,6 +258,26 @@ impl SolverCheckpoint {
         }
         Ok(Self { level, beta, completed_iters, g0norm, velocity })
     }
+}
+
+/// Takes `n` bytes at `*off`, advancing it; typed error on underrun.
+fn take_slice<'a>(
+    bytes: &'a [u8],
+    off: &mut usize,
+    n: usize,
+) -> Result<&'a [u8], CheckpointError> {
+    let s = bytes.get(*off..*off + n).ok_or(CheckpointError::Truncated { need: n, at: *off })?;
+    *off += n;
+    Ok(s)
+}
+
+/// Takes exactly `N` bytes at `*off` as a fixed array, advancing it; typed
+/// error on underrun (no panicking conversions on the decode path).
+fn take_array<const N: usize>(bytes: &[u8], off: &mut usize) -> Result<[u8; N], CheckpointError> {
+    let s = take_slice(bytes, off, N)?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Ok(a)
 }
 
 /// How [`CheckpointStore::load_for_resume`] obtained (or failed to obtain)
@@ -329,10 +354,12 @@ impl CheckpointStore {
 
     /// Persists `rank`'s checkpoint bytes, rotating the previous checkpoint
     /// into the fallback generation. File saves are atomic: a crash
-    /// mid-save leaves the old checkpoint intact.
-    pub fn save(&self, rank: usize, bytes: &[u8]) {
+    /// mid-save leaves the old checkpoint intact. A failed save surfaces as
+    /// a typed [`CheckpointError::Io`] — it must not abort a long solve,
+    /// but the caller decides that, not this layer.
+    pub fn save(&self, rank: usize, bytes: &[u8]) -> Result<(), CheckpointError> {
         match self {
-            CheckpointStore::Disabled => {}
+            CheckpointStore::Disabled => Ok(()),
             CheckpointStore::Memory(map) => {
                 let mut map = lock_map(map);
                 let gens = map.entry(rank).or_default();
@@ -340,9 +367,13 @@ impl CheckpointStore {
                     gens.previous = Some(std::mem::take(&mut gens.current));
                 }
                 gens.current = bytes.to_vec();
+                Ok(())
             }
             CheckpointStore::File(dir) => {
-                std::fs::create_dir_all(dir).expect("create checkpoint dir");
+                let io = |op: &'static str| {
+                    move |e: std::io::Error| CheckpointError::Io { op, detail: e.to_string() }
+                };
+                std::fs::create_dir_all(dir).map_err(io("create dir"))?;
                 let path = Self::rank_path(dir, rank);
                 if path.exists() {
                     // Rotate before publishing; if the process dies between
@@ -351,8 +382,9 @@ impl CheckpointStore {
                     let _ = std::fs::rename(&path, Self::prev_path(dir, rank));
                 }
                 let tmp = path.with_extension("drck.tmp");
-                std::fs::write(&tmp, bytes).expect("write checkpoint temp file");
-                std::fs::rename(&tmp, &path).expect("publish checkpoint file");
+                std::fs::write(&tmp, bytes).map_err(io("write temp"))?;
+                std::fs::rename(&tmp, &path).map_err(io("publish"))?;
+                Ok(())
             }
         }
     }
@@ -560,8 +592,8 @@ mod tests {
         assert!(store.is_enabled());
         assert!(store.load(0).is_none());
         let clone = store.clone();
-        clone.save(0, b"abc");
-        clone.save(3, b"xyz");
+        clone.save(0, b"abc").expect("save");
+        clone.save(3, b"xyz").expect("save");
         assert_eq!(store.load(0).as_deref(), Some(&b"abc"[..]));
         assert_eq!(store.load(3).as_deref(), Some(&b"xyz"[..]));
         store.clear(0);
@@ -572,9 +604,9 @@ mod tests {
     #[test]
     fn save_rotates_generations() {
         let store = CheckpointStore::memory();
-        store.save(1, b"first");
+        store.save(1, b"first").expect("save");
         assert!(store.load_previous(1).is_none());
-        store.save(1, b"second");
+        store.save(1, b"second").expect("save");
         assert_eq!(store.load(1).as_deref(), Some(&b"second"[..]));
         assert_eq!(store.load_previous(1).as_deref(), Some(&b"first"[..]));
         store.clear(1);
@@ -585,7 +617,7 @@ mod tests {
     fn disabled_store_is_a_no_op() {
         let store = CheckpointStore::Disabled;
         assert!(!store.is_enabled());
-        store.save(0, b"abc");
+        store.save(0, b"abc").expect("save");
         assert!(store.load(0).is_none());
         assert!(!store.inject_corruption(0));
         assert!(store.load_for_resume(0).checkpoint.is_none());
@@ -598,7 +630,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = CheckpointStore::file(&dir);
         let ck = sample();
-        store.save(2, &ck.to_bytes());
+        store.save(2, &ck.to_bytes()).expect("save");
         // No temp file left behind after the rename.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -627,8 +659,8 @@ mod tests {
         for store in [CheckpointStore::memory(), CheckpointStore::file(&dir)] {
             let older = SolverCheckpoint { completed_iters: 1, ..sample() };
             let newer = SolverCheckpoint { completed_iters: 2, ..sample() };
-            store.save(0, &older.to_bytes());
-            store.save(0, &newer.to_bytes());
+            store.save(0, &older.to_bytes()).expect("save");
+            store.save(0, &newer.to_bytes()).expect("save");
 
             // Healthy path: the current generation wins.
             let healthy = store.load_for_resume(0);

@@ -44,13 +44,14 @@ fn resample_vector(v: &VectorField, from: &Grid, to: &Grid) -> VectorField {
 /// finest == `fine`). Extents never drop below `min_extent`.
 pub fn continuation_grids(fine: Grid, levels: usize, min_extent: usize) -> Vec<Grid> {
     let mut grids = vec![fine];
+    let mut prev = fine.n;
     for _ in 0..levels {
-        let prev = grids.last().unwrap().n;
         let next = coarsen_extents(prev, min_extent);
         if next == prev {
             break;
         }
         grids.push(Grid::new(next));
+        prev = next;
     }
     grids.reverse();
     grids
@@ -93,6 +94,7 @@ pub fn register_multilevel<C: Comm>(
         velocity = Some((*grid, out.velocity.clone()));
         outcome = Some(out);
     }
+    // diffreg-allow(no-unwrap-in-lib): continuation_grids always returns at least the fine grid, so the loop always sets outcome
     (outcome.unwrap(), reports)
 }
 

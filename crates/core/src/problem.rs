@@ -174,6 +174,7 @@ impl<'a, C: Comm> GaussNewtonProblem for RegProblem<'a, C> {
         // Forward (state) solve with full history.
         let sl = SemiLagrangian::new(ws, v, self.cfg.nt);
         let state = sl.solve_state(ws, &self.rho_t);
+        // diffreg-allow(no-unwrap-in-lib): solve_state seeds the history with rho0, so last() is always Some
         let rho1 = state.last().unwrap().clone();
 
         // Objective.
@@ -202,6 +203,7 @@ impl<'a, C: Comm> GaussNewtonProblem for RegProblem<'a, C> {
         let _span = diffreg_telemetry::span("hessian.matvec");
         self.hessian_matvecs += 1;
         let ws = self.ws;
+        // diffreg-allow(no-unwrap-in-lib): documented API contract: hessian_vec requires a prior linearize; the expect message states it
         let lin = self.lin.as_ref().expect("hessian_vec called before linearize");
         let mut h = ws.fft.regularization(d, self.cfg.reg, self.cfg.beta, ws.timers);
         match self.cfg.hessian {
@@ -247,6 +249,7 @@ impl<'a, C: Comm> GaussNewtonProblem for RegProblem<'a, C> {
                     })
                     .collect();
                 let adj_tilde =
+                    // diffreg-allow(no-unwrap-in-lib): rho_tilde is seeded with the zero field before the time loop, so last() is always Some
                     lin.sl.solve_incremental_adjoint_full(ws, rho_tilde.last().unwrap(), &source);
                 let mut b_tilde = self.time_integral(&adj_tilde, &lin.grads);
                 let grad_rho_tilde: Vec<VectorField> =

@@ -161,6 +161,7 @@ impl ScatterPlan {
                 .iter()
                 .enumerate()
                 .map(|(batch, pts)| {
+                    // diffreg-allow(alloc-in-hot-path): per-batch send buffers are moved into alltoallv — ownership transfer precludes arena pooling
                     let mut vals = vec![0.0; pts.len() * nf];
                     if use_soa {
                         let (lo, hi) = (self.batch_off[batch], self.batch_off[batch + 1]);
@@ -176,6 +177,7 @@ impl ScatterPlan {
                     }
                     vals
                 })
+                // diffreg-allow(alloc-in-hot-path): collects the per-batch send buffers moved into alltoallv — ownership transfer precludes arena pooling
                 .collect()
         });
         timers.count("interp_points_evaluated", (self.assigned_len() * nf) as u64);
@@ -187,6 +189,7 @@ impl ScatterPlan {
             diffreg_telemetry::with_span("interp.scatter", || comm.alltoallv(values))
         });
         // Unscatter into original order.
+        // diffreg-allow(alloc-in-hot-path): result buffers are returned to the caller — ownership transfer precludes arena pooling
         let mut out = vec![vec![0.0; self.n_local]; nf];
         for i in 0..self.n_local {
             let owner = self.owner_of[i];
@@ -206,6 +209,7 @@ impl ScatterPlan {
         kernel: Kernel,
         timers: &Timers,
     ) -> Vec<f64> {
+        // diffreg-allow(no-unwrap-in-lib): interpolate_many returns exactly one Vec per ghost field passed in
         self.interpolate_many(comm, &[ghost], kernel, timers).pop().unwrap()
     }
 }

@@ -225,6 +225,7 @@ pub fn gauss_newton_observed<P: GaussNewtonProblem>(
         None => (fresh_gnorm, 0),
     };
     let mut gnorm = fresh_gnorm;
+    // diffreg-allow(alloc-in-hot-path): once-per-solve report accumulator allocated outside the iteration loop; the newton.iter span only covers the loop body
     let mut iterations = Vec::new();
     let mut total_matvecs = 0;
     let mut fallback_steps = 0;

@@ -81,6 +81,7 @@ impl TimeVaryingTransport {
         let mut hist = Vec::with_capacity(self.nt + 1);
         hist.push(rho0.clone());
         for traj in &self.fwd {
+            // diffreg-allow(no-unwrap-in-lib): hist is seeded with rho0 before the loop, so last() is always Some
             let g = ghosted(ws.comm, ws.decomp, hist.last().unwrap());
             let vals = traj.plan.interpolate(ws.comm, &g, ws.kernel, ws.timers);
             hist.push(ScalarField::from_vec(rho0.block(), vals));
@@ -97,6 +98,7 @@ impl TimeVaryingTransport {
         rev.push(lambda1.clone());
         for (j, traj) in self.bwd.iter().enumerate() {
             let i = self.nt - 1 - j; // arrival t index
+            // diffreg-allow(no-unwrap-in-lib): rev is seeded with lambda1 before the loop, so last() is always Some
             let nu = rev.last().unwrap();
             let g_nu = ghosted(ws.comm, ws.decomp, nu);
             // Source f = λ div v evaluated at the departure level t_{i+1}

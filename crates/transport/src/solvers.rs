@@ -84,6 +84,7 @@ impl SemiLagrangian {
         let mut hist = Vec::with_capacity(self.nt + 1);
         hist.push(rho0.clone());
         for _ in 0..self.nt {
+            // diffreg-allow(no-unwrap-in-lib): hist is seeded with rho0 before the loop, so last() is always Some
             let prev = hist.last().unwrap();
             let g = ghosted(ws.comm, ws.decomp, prev);
             let vals = self.fwd.plan.interpolate(ws.comm, &g, ws.kernel, ws.timers);
@@ -125,6 +126,7 @@ impl SemiLagrangian {
         let mut rev = Vec::with_capacity(self.nt + 1);
         rev.push(lambda1.clone());
         for _ in 0..self.nt {
+            // diffreg-allow(no-unwrap-in-lib): rev is seeded with lambda1 before the loop, so last() is always Some
             let next = self.step_continuity(ws, rev.last().unwrap());
             rev.push(next);
         }
@@ -142,6 +144,7 @@ impl SemiLagrangian {
         vtilde: &VectorField,
         grad_state: &[VectorField],
     ) -> ScalarField {
+        // diffreg-allow(no-unwrap-in-lib): solve_incremental_state_history returns nt+1 >= 1 states
         self.solve_incremental_state_history(ws, vtilde, grad_state).pop().unwrap()
     }
 
@@ -171,6 +174,7 @@ impl SemiLagrangian {
         let mut f_cur = source(0);
         for i in 0..self.nt {
             // Batched interpolation of ρ̃ and f_i at the departure points.
+            // diffreg-allow(no-unwrap-in-lib): hist is seeded with the zero field before the loop, so last() is always Some
             let g_rho = ghosted(ws.comm, ws.decomp, hist.last().unwrap());
             let f_field = ScalarField::from_vec(block, f_cur);
             let g_f = ghosted(ws.comm, ws.decomp, &f_field);
@@ -214,6 +218,7 @@ impl SemiLagrangian {
         // τ step j advances from t index i = nt − j to i − 1.
         for j in 0..self.nt {
             let i = self.nt - j;
+            // diffreg-allow(no-unwrap-in-lib): rev is seeded with the terminal condition before the loop, so last() is always Some
             let nu = rev.last().unwrap();
             let g_nu = ghosted(ws.comm, ws.decomp, nu);
             let g_s = ghosted(ws.comm, ws.decomp, &source[i]);

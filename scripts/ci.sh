@@ -149,13 +149,49 @@ echo "==> [10/14] perf-regression gate (kernel suite medians vs baseline)"
 # against the checked-in BENCH_kernels.json (advisory across hosts).
 scripts/perf_gate.sh
 
-echo "==> [11/14] static analysis (in-tree analyzer: lints + schedule explorer)"
-# Hard gate: zero new findings against ANALYZER_BASELINE.txt (comm and pfft
-# are held at zero baselined entries). The fixture suite pins every lint and
-# the lexer's edge cases to golden diagnostics; the sched suite pins the
-# deadlock/divergence detectors to known-broken programs and sweeps the real
-# collective protocols clean at 2-3 ranks.
-cargo run -q -p diffreg-analyzer --release --offline -- check
+echo "==> [11/14] static analysis (in-tree analyzer: AST/CFG dataflow + schedule explorer)"
+# Hard gate: zero new findings against ANALYZER_BASELINE.txt (which is empty
+# since the v2 migration — every finding is either fixed or carries a
+# reasoned allow). The check runs under a wall-clock budget, its --json
+# output is parsed (schema + per-lint counts asserted) and must be
+# byte-identical across two runs, and the analyzer is turned on itself.
+analyzer_t0=$(date +%s)
+cargo run -q -p diffreg-analyzer --release --offline -- check --json \
+    > target/analyzer-report.json
+analyzer_t1=$(date +%s)
+analyzer_wall=$((analyzer_t1 - analyzer_t0))
+if [ "$analyzer_wall" -gt 120 ]; then
+    echo "ERROR: full-workspace analyzer check took ${analyzer_wall}s (budget 120s)" >&2
+    exit 1
+fi
+grep -q '"schema": *"diffreg-analyzer-v2"' target/analyzer-report.json || {
+    echo "ERROR: analyzer --json did not emit the diffreg-analyzer-v2 schema" >&2
+    exit 1; }
+# The dataflow lints hold the workspace at zero baselined AND zero new
+# findings; no-unwrap-in-lib is fully burned down.
+for lint in collective-consistency unwaited-handle alloc-in-hot-path \
+            swallowed-comm-error no-unwrap-in-lib; do
+    grep -q "\"$lint\":{\"baselined\":0,\"new\":0" target/analyzer-report.json || {
+        echo "ERROR: $lint is not clean (expected baselined=0, new=0):" >&2
+        grep -o "\"$lint\":[^}]*}" target/analyzer-report.json >&2 || true
+        exit 1; }
+done
+# Byte-determinism: a second run must reproduce the report exactly.
+cargo run -q -p diffreg-analyzer --release --offline -- check --json \
+    > target/analyzer-report-2.json
+cmp target/analyzer-report.json target/analyzer-report-2.json || {
+    echo "ERROR: analyzer --json output is not byte-deterministic across runs" >&2
+    exit 1; }
+rm -f target/analyzer-report-2.json
+# The analyzer gates its own crate too (workspace-wide call graph, scoped
+# findings), and reports its runtime + per-lint counts as a bench record.
+cargo run -q -p diffreg-analyzer --release --offline -- check --paths crates/analyzer
+DIFFREG_RESULTS_DIR=target/results \
+    cargo run -q -p diffreg-analyzer --release --offline -- bench --samples 3
+# The fixture suite pins every lint (golden .expected diagnostics); the
+# sched suite pins the deadlock/divergence detectors to known-broken
+# programs and sweeps the real collective + serve gang protocols clean at
+# 2-3 ranks.
 cargo test -p diffreg-analyzer --release -q --offline
 # Advisory sanitizer pass (skips cleanly when toolchains are unavailable).
 scripts/sanitizers.sh || echo "    sanitizers advisory: non-zero exit tolerated"
