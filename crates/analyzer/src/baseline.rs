@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn same_code_different_function_is_distinct() {
         let in_f = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "f", "x.unwrap();");
-        let text = Baseline::render(&[in_f.clone()]);
+        let text = Baseline::render(std::slice::from_ref(&in_f));
         let mut b = Baseline::parse(&text);
         let in_g = d(Lint::NoUnwrapInLib, "crates/x/src/a.rs", "g", "x.unwrap();");
         assert!(!b.matches(&in_g), "keys must include the enclosing function");

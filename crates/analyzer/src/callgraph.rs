@@ -270,8 +270,8 @@ impl CallGraph {
             let calls = self.fns[i].calls.clone();
             for c in &calls {
                 if let Some(j) = self.resolve(&c.name, c.qual.as_deref(), i) {
-                    if !self.hot.contains_key(&j) {
-                        self.hot.insert(j, root.clone());
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.hot.entry(j) {
+                        e.insert(root.clone());
                         queue.push(j);
                     }
                 }
@@ -284,14 +284,14 @@ impl CallGraph {
     fn check_consistency(&mut self) {
         // Phase 1: resolve every function's effect stream (memoized).
         let mut memo: Vec<Option<Vec<RNode>>> = vec![None; self.fns.len()];
-        for i in 0..self.fns.len() {
+        for i in 0..memo.len() {
             let mut visiting = HashSet::new();
             self.resolve_stream(i, &mut memo, &mut visiting);
         }
         // Phase 2: per-function site checks.
         let mut findings = Vec::new();
-        for i in 0..self.fns.len() {
-            let stream = memo[i].clone().unwrap_or_default();
+        for (i, m) in memo.iter().enumerate() {
+            let stream = m.clone().unwrap_or_default();
             let mut out = Vec::new();
             check_stream(&stream, &[], &mut out);
             for (line, col, cond, detail) in out {

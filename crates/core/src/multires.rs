@@ -22,8 +22,20 @@ use diffreg_transport::Workspace;
 use crate::config::RegistrationConfig;
 use crate::driver::{register_from, RegistrationOutcome};
 
+/// Span name for a grid transfer: restriction coarsens, prolongation
+/// refines (equal-size transfers count as prolongation — they only occur
+/// when re-expressing a field on the same grid).
+fn transfer_span(from: &Grid, to: &Grid) -> &'static str {
+    if to.total() < from.total() {
+        "multires.restrict"
+    } else {
+        "multires.prolong"
+    }
+}
+
 /// Resamples a serial scalar field between grids.
 fn resample_scalar(f: &ScalarField, from: &Grid, to: &Grid) -> ScalarField {
+    let _span = diffreg_telemetry::span(transfer_span(from, to));
     let data = spectral_resample(f.data(), from.n, to.n);
     let block = Decomp::new(*to, 1).block(0, Layout::Spatial);
     ScalarField::from_vec(block, data)
@@ -31,6 +43,7 @@ fn resample_scalar(f: &ScalarField, from: &Grid, to: &Grid) -> ScalarField {
 
 /// Resamples a serial vector field between grids.
 fn resample_vector(v: &VectorField, from: &Grid, to: &Grid) -> VectorField {
+    let _span = diffreg_telemetry::span(transfer_span(from, to));
     let block = Decomp::new(*to, 1).block(0, Layout::Spatial);
     let mut out = VectorField::zeros(block);
     for a in 0..3 {

@@ -11,6 +11,7 @@
 //!                        [--gate] [--min-coverage 0.9]
 //! diffreg-doctor incident --dir target/incidents/incident-000-watchdog-timeout
 //!                         [--top 10] [--gate]
+//! diffreg-doctor profile --dir target/doctor-smoke [--baseline OTHER_DIR] [--top 10]
 //! diffreg-doctor selftest
 //! ```
 //!
@@ -25,7 +26,7 @@ use diffreg_telemetry::doctor::{
     analyze, DoctorInput, RankRecord, Span, WaitKind,
 };
 use diffreg_telemetry::incident::{analyze_incident, gate_incident, load_incident_bundle};
-use diffreg_telemetry::{MetricsRegistry, PredictedPhases};
+use diffreg_telemetry::{diff_phases, render_diff, MetricsRegistry, PredictedPhases, Profile};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +43,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("incident") => cmd_incident(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("selftest") => cmd_selftest(),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
@@ -54,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
 const USAGE: &str = "usage:
   diffreg-doctor analyze --dir <bundle-dir> [--top K] [--grid N] [--gate] [--min-coverage F]
   diffreg-doctor incident --dir <incident-bundle-dir> [--top K] [--gate]
+  diffreg-doctor profile --dir <bundle-dir> [--baseline <bundle-dir>] [--top K]
   diffreg-doctor selftest
 
 analyze reads a trace bundle (trace.json + events-rank<k>.jsonl [+ metrics.json]),
@@ -67,7 +70,15 @@ incident reads one incident bundle written by the serve runtime
 digest, runs wait-state triage with culprit attribution, writes
 incident-report.txt into the bundle directory, and prints the triage
 summary. --gate additionally exits nonzero unless the digest matches, the
-capture accounting is exact, and culprit-bearing triggers name a culprit.";
+capture accounting is exact, and culprit-bearing triggers name a culprit.
+
+profile folds a trace bundle's spans (or an incident bundle's recorder
+windows) into a flamegraph: writes profile.folded (count-weighted, the
+replay-stable projection) and profile-selftime.folded (self-nanosecond
+weights, for inferno/speedscope) into the bundle directory and prints the
+top-K self-time table with dropped-span accounting. --baseline loads a
+second bundle and prints the per-phase self-time regression ranking
+(largest regression first), writing profile-diff.txt.";
 
 struct AnalyzeOpts {
     dir: Option<String>,
@@ -197,6 +208,64 @@ fn cmd_incident(args: &[String]) -> Result<(), String> {
             bundle.events.len(),
             bundle.convergence_lines
         );
+    }
+    Ok(())
+}
+
+/// Loads a profile from either bundle flavor: incident bundles (detected
+/// by `incident.json`) fold their captured flight-recorder windows; trace
+/// bundles fold the spans in `trace.json`.
+fn load_profile(dir: &str) -> Result<Profile, String> {
+    if std::path::Path::new(dir).join("incident.json").is_file() {
+        let bundle = load_incident_bundle(dir).map_err(|e| e.to_string())?;
+        Ok(Profile::from_recorder_files(&bundle.recorder))
+    } else {
+        Ok(Profile::from_doctor(&DoctorInput::load_dir(dir)?))
+    }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--dir" => dir = Some(value("--dir")?.clone()),
+            "--baseline" => baseline = Some(value("--baseline")?.clone()),
+            "--top" => {
+                top = value("--top")?
+                    .parse()
+                    .map_err(|_| "--top needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or(format!("profile needs --dir\n{USAGE}"))?;
+    let prof = load_profile(&dir)?;
+    let dir_path = std::path::Path::new(&dir);
+    std::fs::write(dir_path.join("profile.folded"), prof.render_folded())
+        .map_err(|e| format!("write profile.folded: {e}"))?;
+    std::fs::write(dir_path.join("profile-selftime.folded"), prof.render_folded_self_ns())
+        .map_err(|e| format!("write profile-selftime.folded: {e}"))?;
+    print!("{}", prof.render_table(top));
+    println!(
+        "wrote {} and {}",
+        dir_path.join("profile.folded").display(),
+        dir_path.join("profile-selftime.folded").display()
+    );
+    if let Some(base_dir) = baseline {
+        let base = load_profile(&base_dir)?;
+        let deltas = diff_phases(&prof, &base);
+        let text = render_diff(&deltas, top);
+        std::fs::write(dir_path.join("profile-diff.txt"), &text)
+            .map_err(|e| format!("write profile-diff.txt: {e}"))?;
+        println!("differential vs {base_dir} (ranked by self-time regression):");
+        print!("{text}");
+        println!("wrote {}", dir_path.join("profile-diff.txt").display());
     }
     Ok(())
 }

@@ -1,0 +1,167 @@
+//! End-to-end CLI tests for `diffreg-doctor profile`: replay-stable
+//! flamegraph bytes and differential attribution of an injected slowdown.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use diffreg_comm::{CommEvent, CommOp};
+use diffreg_telemetry::doctor::write_trace_bundle;
+use diffreg_telemetry::{SpanEvent, ThreadTrace};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_diffreg-doctor")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One synthetic comm event so `DoctorInput::load_dir` sees the rank.
+fn dummy_event(rank: usize) -> CommEvent {
+    CommEvent {
+        op: CommOp::Allreduce,
+        comm: 0,
+        csize: 2,
+        rank,
+        peer: None,
+        tag: None,
+        seq: None,
+        bytes: 64,
+        epoch: Some(0),
+        t0_ns: 0,
+        t1_ns: 1_000,
+        blocked_ns: 0,
+    }
+}
+
+/// A two-rank trace bundle whose `transport.semilag` spans are `slow`×
+/// longer than the baseline's. Span timestamps are microsecond-quantized
+/// (the chrome-trace writer rounds to µs), so durations are multiples of
+/// 1000 ns.
+fn write_bundle(dir: &Path, slow: u64) {
+    let us = 1_000u64;
+    let mk_rank = |thread: u64| -> ThreadTrace {
+        // Close order: children close before parents.
+        let events = vec![
+            SpanEvent { name: "fft.forward", t0_ns: 10 * us, dur_ns: 100 * us, depth: 1 },
+            SpanEvent {
+                name: "transport.semilag",
+                t0_ns: 120 * us,
+                dur_ns: 200 * us * slow,
+                depth: 1,
+            },
+            SpanEvent {
+                name: "newton.step",
+                t0_ns: 0,
+                dur_ns: (400 + 200 * (slow - 1)) * us,
+                depth: 0,
+            },
+        ];
+        ThreadTrace { thread, events, dropped: 0 }
+    };
+    let traces = vec![(0usize, mk_rank(0)), (1usize, mk_rank(1))];
+    let events = vec![(0usize, vec![dummy_event(0)]), (1usize, vec![dummy_event(1)])];
+    write_trace_bundle(dir, &traces, &events, None).expect("write bundle");
+}
+
+fn run_profile(args: &[&str]) -> (String, bool) {
+    let out = Command::new(bin()).args(args).output().expect("run diffreg-doctor");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    (stdout, out.status.success())
+}
+
+#[test]
+fn profile_folded_is_byte_identical_across_invocations() {
+    let dir = scratch("profile-replay");
+    write_bundle(&dir, 1);
+    let (_, ok) = run_profile(&["profile", "--dir", dir.to_str().unwrap()]);
+    assert!(ok, "first profile run failed");
+    let first = std::fs::read(dir.join("profile.folded")).expect("read folded");
+    let (_, ok) = run_profile(&["profile", "--dir", dir.to_str().unwrap()]);
+    assert!(ok, "second profile run failed");
+    let second = std::fs::read(dir.join("profile.folded")).expect("read folded");
+    assert_eq!(first, second, "count projection must be byte-identical");
+    let text = String::from_utf8(first).expect("utf8");
+    // Nesting recovered: the semilag span sits under newton.step per rank.
+    assert!(
+        text.contains("rank0;newton.step;transport.semilag 1"),
+        "stack lines present:\n{text}"
+    );
+    assert!(text.contains("rank1;newton.step;fft.forward 1"), "{text}");
+    assert!(text.ends_with("[dropped] 0\n"), "dropped accounting present:\n{text}");
+}
+
+#[test]
+fn replayed_bundles_with_different_wall_clocks_fold_identically() {
+    // Two "replays": the same span sequence shifted in time. The canonical
+    // projection must not see the difference.
+    let a = scratch("profile-replay-a");
+    let b = scratch("profile-replay-b");
+    write_bundle(&a, 1);
+    let us = 1_000u64;
+    let shifted = vec![(0usize, ThreadTrace {
+        thread: 0,
+        events: vec![
+            SpanEvent { name: "fft.forward", t0_ns: 5_010 * us, dur_ns: 170 * us, depth: 1 },
+            SpanEvent {
+                name: "transport.semilag",
+                t0_ns: 5_200 * us,
+                dur_ns: 130 * us,
+                depth: 1,
+            },
+            SpanEvent { name: "newton.step", t0_ns: 5_000 * us, dur_ns: 777 * us, depth: 0 },
+        ],
+        dropped: 0,
+    }), (1usize, ThreadTrace {
+        thread: 1,
+        events: vec![
+            SpanEvent { name: "fft.forward", t0_ns: 9_010 * us, dur_ns: 42 * us, depth: 1 },
+            SpanEvent {
+                name: "transport.semilag",
+                t0_ns: 9_100 * us,
+                dur_ns: 260 * us,
+                depth: 1,
+            },
+            SpanEvent { name: "newton.step", t0_ns: 9_000 * us, dur_ns: 500 * us, depth: 0 },
+        ],
+        dropped: 0,
+    })];
+    let events = vec![(0usize, vec![dummy_event(0)]), (1usize, vec![dummy_event(1)])];
+    write_trace_bundle(&b, &shifted, &events, None).expect("write shifted bundle");
+    let (_, ok) = run_profile(&["profile", "--dir", a.to_str().unwrap()]);
+    assert!(ok);
+    let (_, ok) = run_profile(&["profile", "--dir", b.to_str().unwrap()]);
+    assert!(ok);
+    let fa = std::fs::read(a.join("profile.folded")).expect("read a");
+    let fb = std::fs::read(b.join("profile.folded")).expect("read b");
+    assert_eq!(fa, fb, "timestamp-free projection ignores wall clocks");
+}
+
+#[test]
+fn differential_ranks_injected_slowdown_first() {
+    let base = scratch("profile-base");
+    let slow = scratch("profile-slow");
+    write_bundle(&base, 1);
+    write_bundle(&slow, 10); // transport.semilag 10x slower
+    let (stdout, ok) = run_profile(&[
+        "profile",
+        "--dir",
+        slow.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--top",
+        "5",
+    ]);
+    assert!(ok, "differential profile run failed:\n{stdout}");
+    let diff_text =
+        std::fs::read_to_string(slow.join("profile-diff.txt")).expect("read profile-diff.txt");
+    let first_row = diff_text.lines().nth(1).unwrap_or("");
+    assert!(
+        first_row.starts_with("transport.semilag"),
+        "slowed phase must rank first:\n{diff_text}\nstdout:\n{stdout}"
+    );
+    assert!(stdout.contains("ranked by self-time regression"), "{stdout}");
+}

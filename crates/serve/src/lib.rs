@@ -23,8 +23,11 @@
 //!   solve, including torn-write fallback to the previous checkpoint
 //!   generation ([`runtime`]);
 //! * **observability** — per-job streamed iteration progress, convergence
-//!   logs with serve-side events, and a Prometheus-rendered dashboard of
-//!   queue depth, retry/recovery counters, and latency histograms.
+//!   logs with serve-side events, a Prometheus-rendered dashboard of
+//!   queue depth, retry/recovery counters, and latency histograms, and an
+//!   opt-in read-only HTTP plane ([`http`]) serving metrics, the live job
+//!   table, SLO state, incidents, and flamegraph snapshots from
+//!   round-boundary snapshots.
 //!
 //! Chaos drills are first-class: a [`FaultInjector`] plans kills, stalls,
 //! and checkpoint corruption per `(job, attempt)`, and the whole campaign
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod http;
 pub mod incident;
 pub mod job;
 pub mod runtime;
@@ -54,6 +58,7 @@ pub mod scheduler;
 pub mod slo;
 
 pub use faults::{AttemptFaults, FaultInjector, NoFaults, PlannedFaults, SeededFaults};
+pub use http::{HttpServer, ObsSnapshot};
 pub use job::{JobId, JobRecord, JobResult, JobSpec, JobState, RetryPolicy};
 pub use runtime::{
     attempt_epoch_count, reference_digest, synthetic_pair, ProgressEvent, ServeConfig,

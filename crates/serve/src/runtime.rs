@@ -61,12 +61,14 @@ use diffreg_pfft::PencilFft;
 use diffreg_telemetry::doctor::write_trace_bundle;
 use diffreg_telemetry::incident::{write_incident_bundle, IncidentHeader, RankCapture};
 use diffreg_telemetry::{
-    record_comm_summary, record_event, set_trace_enabled, take_recorder, take_thread_trace,
-    ConvergenceLog, IterRecord, MetricsRegistry, RecKind, ThreadTrace,
+    record_comm_summary, record_event, set_trace_enabled, snapshot_recorder, span, take_recorder,
+    take_thread_trace, ConvergenceLog, IterRecord, Json, MetricsRegistry, Profile, RecKind,
+    StreamEntry, ThreadTrace,
 };
 use diffreg_transport::{SemiLagrangian, Workspace};
 
 use crate::faults::{AttemptFaults, FaultInjector};
+use crate::http::{HttpServer, ObsSlot, ObsSnapshot};
 use crate::incident::{failure_trigger, CaptureStage, IncidentRecord, IncidentTrigger};
 use crate::job::{
     decode_intake, encode_intake, fnv_fold_u64, JobId, JobRecord, JobResult, JobSpec, JobState,
@@ -116,6 +118,12 @@ pub struct ServeConfig {
     pub slo: Option<SloPolicy>,
     /// Convergence-log entries captured into each incident bundle's tail.
     pub incident_tail: usize,
+    /// Live observability endpoints: when set (or when `DIFFREG_HTTP_ADDR`
+    /// is in the environment), rank 0 binds a read-only HTTP/1.1 server on
+    /// this address (`127.0.0.1:0` for an ephemeral loopback port) and
+    /// publishes a snapshot at every round boundary. Serving never touches
+    /// replicated state. See [`crate::http`].
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -131,6 +139,7 @@ impl Default for ServeConfig {
             incident_dir: None,
             slo: None,
             incident_tail: 64,
+            http_addr: None,
         }
     }
 }
@@ -301,6 +310,8 @@ pub struct ServeHarness {
     metrics: Arc<Mutex<MetricsRegistry>>,
     traces: Arc<Mutex<TraceMap>>,
     stage: Arc<Mutex<CaptureStage>>,
+    obs: ObsSlot,
+    http_bound: Arc<Mutex<Option<std::net::SocketAddr>>>,
 }
 
 /// Context for one incident trigger (everything
@@ -332,7 +343,22 @@ impl ServeHarness {
             metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
             traces: Arc::new(Mutex::new(BTreeMap::new())),
             stage: Arc::new(Mutex::new(BTreeMap::new())),
+            obs: Arc::new(Mutex::new(Arc::new(ObsSnapshot::default()))),
+            http_bound: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// The observability server's bound address, once rank 0 started it
+    /// (`None` when HTTP is disabled or the pool has not started yet).
+    /// With port 0 this is where the ephemeral port shows up.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        *lock(&self.http_bound)
+    }
+
+    /// The latest published observability snapshot (what the endpoints
+    /// serve right now).
+    pub fn observability(&self) -> Arc<ObsSnapshot> {
+        Arc::clone(&lock(&self.obs))
     }
 
     /// Enqueues a job for admission at the pool's next intake round.
@@ -435,9 +461,34 @@ impl ServeHarness {
         if self.cfg.trace_job.is_some() {
             set_trace_enabled(true);
         }
+        // Live observability plane: rank 0 only, opt-in, read-only. The
+        // server thread sees nothing but published snapshot Arcs, so it
+        // cannot perturb the replicated schedule (digest parity with HTTP
+        // disabled is pinned by the load test).
+        let http_spec = self
+            .cfg
+            .http_addr
+            .clone()
+            .or_else(|| std::env::var("DIFFREG_HTTP_ADDR").ok());
+        let http = if me == 0 {
+            http_spec.and_then(|spec| match HttpServer::start(&spec, Arc::clone(&self.obs)) {
+                Ok(server) => {
+                    *lock(&self.http_bound) = Some(server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    lock(&self.metrics).inc_counter("serve_http_bind_errors_total", 1);
+                    eprintln!("serve: http bind failed ({e}); observability disabled");
+                    None
+                }
+            })
+        } else {
+            None
+        };
 
         loop {
             // 1. intake: rank 0 drains, everyone applies the same blob.
+            let intake_span = span("serve.intake");
             let mut wire: Vec<u8> = if me == 0 {
                 let specs: Vec<JobSpec> = std::mem::take(&mut *lock(&self.inbox));
                 let cancels: Vec<JobId> = std::mem::take(&mut *lock(&self.cancel_inbox));
@@ -535,6 +586,8 @@ impl ServeHarness {
                 }
             }
 
+            drop(intake_span);
+
             // 3. termination: replicated decision (open and the table are
             // identical on every rank).
             if !open && table.values().all(|r| r.state.is_terminal()) {
@@ -542,6 +595,7 @@ impl ServeHarness {
             }
 
             // 4. plan, mark running, account attempts.
+            let plan_span = span("serve.plan");
             let plan = plan_round(&table, pool);
             for a in &plan {
                 if let Some(rec) = table.get_mut(&a.job) {
@@ -568,6 +622,8 @@ impl ServeHarness {
                 m.set_gauge("serve_running_jobs", plan.len() as f64);
                 m.inc_counter("serve_rounds_total", 1);
             }
+
+            drop(plan_span);
 
             if plan.is_empty() && open {
                 std::thread::sleep(self.cfg.idle_sleep);
@@ -638,6 +694,7 @@ impl ServeHarness {
             }
 
             // 6. outcome allgather + deterministic fold.
+            let fold_span = span("serve.outcome-fold");
             let gathered = world.allgather(report.encode());
             let reports: Vec<AttemptReport> =
                 gathered.iter().map(|w| AttemptReport::decode(w)).collect();
@@ -651,6 +708,7 @@ impl ServeHarness {
                 &mut slo,
                 &mut incidents,
             );
+            drop(fold_span);
 
             // 7. SLO window rotation + alert transitions (replicated), and
             // per-round capture-stage cleanup. Rank 0 reaches this only
@@ -690,9 +748,20 @@ impl ServeHarness {
                 lock(&self.stage).clear();
             }
 
+            // Round boundary: rank 0 publishes the observability snapshot
+            // (pure reads of replicated/fold-derived state; the HTTP thread
+            // only ever swaps snapshot Arcs).
+            if me == 0 && http.is_some() {
+                self.publish_obs(round, &table, slo.as_ref(), &incidents);
+            }
+
             round += 1;
         }
 
+        if let Some(server) = http {
+            self.publish_obs(round, &table, slo.as_ref(), &incidents);
+            server.stop();
+        }
         if self.cfg.trace_job.is_some() {
             set_trace_enabled(false);
         }
@@ -709,6 +778,117 @@ impl ServeHarness {
             slo_alerts: slo.as_ref().map(|s| s.render_alert_log()).unwrap_or_default(),
             slo_digest: slo.as_ref().map(|s| s.state_digest()).unwrap_or(0),
         }
+    }
+
+    /// Rebuilds and publishes the observability snapshot (rank 0, round
+    /// boundary). Everything here is a *read*: the replicated job table,
+    /// the fold-derived SLO/incident state, the metrics dashboard, the
+    /// convergence logs, and this rank's flight-recorder window (a
+    /// non-draining snapshot — attempt capture accounting is untouched).
+    fn publish_obs(
+        &self,
+        round: u64,
+        table: &BTreeMap<JobId, JobRecord>,
+        slo: Option<&SloEngine>,
+        incidents: &[IncidentRecord],
+    ) {
+        let state_label = |s: &JobState| -> String {
+            match s {
+                JobState::Queued => "queued".to_string(),
+                JobState::Running => "running".to_string(),
+                JobState::Backoff { until_round } => format!("backoff(until={until_round})"),
+                JobState::Completed => "completed".to_string(),
+                JobState::Cancelled => "cancelled".to_string(),
+                JobState::Expired => "expired".to_string(),
+                JobState::Failed => "failed".to_string(),
+            }
+        };
+        let jobs_json = {
+            let logs = lock(&self.logs);
+            let mut jobs: Vec<Json> = Vec::with_capacity(table.len());
+            for rec in table.values() {
+                let mut j = Json::obj()
+                    .set("id", rec.spec.id)
+                    .set("tenant", rec.spec.tenant.as_str())
+                    .set("state", state_label(&rec.state))
+                    .set("gang_size", rec.gang_size)
+                    .set("attempts", rec.attempts)
+                    .set("resumed_attempts", rec.resumed_attempts)
+                    .set("submit_round", rec.submit_round)
+                    .set(
+                        "first_start_round",
+                        rec.first_start_round.map(Json::from).unwrap_or(Json::Null),
+                    )
+                    .set("finish_round", rec.finish_round.map(Json::from).unwrap_or(Json::Null));
+                if let Some(res) = &rec.result {
+                    j = j
+                        .set("digest", format!("{:016x}", res.digest))
+                        .set("result_gang_size", res.gang_size)
+                        .set("resumed", res.resumed);
+                }
+                let last_iter = logs.get(&rec.spec.id).and_then(|log| {
+                    log.entries.iter().rev().find_map(|e| match e {
+                        StreamEntry::Iter(it) => Some(it),
+                        _ => None,
+                    })
+                });
+                if let Some(it) = last_iter {
+                    j = j.set(
+                        "last_iter",
+                        Json::obj()
+                            .set("level", it.level)
+                            .set("iter", it.iter)
+                            .set("objective", it.objective)
+                            .set("grad_norm", it.grad_norm)
+                            .set("rel_grad", it.rel_grad)
+                            .set("pcg_iters", it.pcg_iters),
+                    );
+                }
+                jobs.push(j);
+            }
+            Json::obj().set("round", round).set("jobs", jobs).to_string()
+        };
+        let slo_json = match slo {
+            Some(s) => Json::obj()
+                .set("round", round)
+                .set("digest", format!("{:016x}", s.state_digest()))
+                .set(
+                    "firing",
+                    s.firing().into_iter().map(Json::from).collect::<Vec<Json>>(),
+                )
+                .set(
+                    "alerts",
+                    s.render_alert_log().into_iter().map(Json::from).collect::<Vec<Json>>(),
+                )
+                .to_string(),
+            None => Json::obj().set("round", round).set("disabled", true).to_string(),
+        };
+        let incidents_json = {
+            let items: Vec<Json> = incidents
+                .iter()
+                .map(|i| {
+                    Json::obj()
+                        .set("seq", i.seq)
+                        .set("trigger", i.trigger.name())
+                        .set("job", i.job)
+                        .set("attempt", i.attempt)
+                        .set("round", i.round)
+                        .set("reason", i.reason.as_str())
+                })
+                .collect();
+            Json::obj().set("round", round).set("incidents", items).to_string()
+        };
+        let profile = Profile::from_recorders(&[(0, snapshot_recorder())]);
+        let snap = ObsSnapshot {
+            round,
+            ready: true,
+            metrics_text: lock(&self.metrics).render_prometheus(),
+            jobs_json,
+            slo_json,
+            incidents_json,
+            profile_folded: profile.render_folded(),
+        };
+        *lock(&self.obs) = Arc::new(snap);
     }
 
     /// Folds one round's allgathered gang outcomes into the replicated

@@ -321,6 +321,9 @@ impl SloEngine {
             let allowed = policy.allowed_frac(*obj);
             let (ft, fb) = track.window_counts(round, policy.fast_window);
             let (st, sb) = track.window_counts(round, policy.slow_window);
+            // Tenant ids are caller-supplied: escape them per the
+            // exposition format before quoting.
+            let tenant = diffreg_telemetry::escape_label_value(tenant);
             let base = format!("tenant=\"{tenant}\",objective=\"{}\"", obj.name());
             metrics.set_gauge(
                 &format!("diffreg_slo_burn_milli{{{base},window=\"fast\"}}"),
@@ -497,5 +500,22 @@ mod tests {
             assert_eq!(d1, d2, "identical observation scripts must give identical digests");
             assert_eq!(log1, log2);
         });
+    }
+
+    #[test]
+    fn export_escapes_tenant_label_values() {
+        let mut e = SloEngine::new(SloPolicy::default());
+        e.observe_terminal("acme\"corp\\eu\n", 0, 0, 0, true);
+        e.advance_round(0);
+        let mut m = MetricsRegistry::new();
+        e.export(0, &mut m);
+        let out = m.render_prometheus();
+        assert!(
+            out.contains(
+                "diffreg_slo_burn_milli{tenant=\"acme\\\"corp\\\\eu\\n\",objective=\"latency-p95\",window=\"fast\"}"
+            ),
+            "escaped tenant label pinned: {out}"
+        );
+        assert!(!out.contains("eu\n\""), "raw newline must not survive in a label: {out}");
     }
 }

@@ -21,6 +21,7 @@ pub fn spectral_resample(data: &[f64], from: [usize; 3], to: [usize; 3]) -> Vec<
     if from == to {
         return data.to_vec();
     }
+    let _span = diffreg_telemetry::span("spectral.resample");
     let sp_from = SerialSpectral::new(from);
     let sp_to = SerialSpectral::new(to);
     let spec = sp_from.forward(data);

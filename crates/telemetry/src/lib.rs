@@ -35,6 +35,10 @@
 //!
 //! JSON is hand-rolled in [`json`] (deterministic serialization, strict
 //! parser) — no serde anywhere.
+//!
+//! [`profile`] folds the span streams above (trace buffers, flight
+//! recorder, doctor bundles) into exact self/child wall-time profiles and
+//! deterministic collapsed-stack flamegraphs with a differential mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +48,7 @@ pub mod doctor;
 pub mod incident;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod results;
@@ -56,8 +61,10 @@ pub use recorder::{
     snapshot_recorder, take_recorder, RecEvent, RecKind, RecorderSnapshot,
 };
 pub use metrics::{
-    count_global, observe_global, take_global_metrics, Histogram, MetricsRegistry,
+    count_global, escape_label_value, observe_global, take_global_metrics, Histogram,
+    MetricsRegistry,
 };
+pub use profile::{diff_phases, render_diff, PhaseDelta, PhaseRow, Profile, StackStat};
 pub use report::{collect_phase_report, PhaseEntry, PhaseReport, PredictedPhases};
 pub use results::{
     compare_suites, hostname, BenchRecord, BenchSuite, GateFinding, GateReport,

@@ -422,6 +422,24 @@ impl MetricsRegistry {
     }
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash → `\\`, double quote → `\"`, newline → `\n`. Callers embed
+/// label blocks directly in metric names (`name{tenant="..."}`), so any
+/// untrusted value (tenant ids, reasons) must pass through here before
+/// being quoted.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Splits `name{label="x"}` into `("name", "label=\"x\"")`; the label part
 /// is empty when the name carries no braces.
 fn split_labels(name: &str) -> (&str, &str) {
@@ -620,5 +638,101 @@ mod tests {
         assert_eq!(reg.counter("n"), Some(2));
         assert!(take_global_metrics().is_empty(), "take resets");
         crate::set_trace_enabled(false);
+    }
+
+    #[test]
+    fn label_value_escaping_is_pinned() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // All three at once, in order.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+        // Round-trip through a rendered registry: the exposition line
+        // carries the escapes, not the raw bytes.
+        let mut reg = MetricsRegistry::new();
+        let tenant = escape_label_value("acme\"corp\\eu\n");
+        reg.set_gauge(
+            &format!("diffreg_slo_burn_milli{{tenant=\"{tenant}\",objective=\"latency_p95\",window=\"fast\"}}"),
+            250.0,
+        );
+        let out = reg.render_prometheus();
+        assert!(
+            out.contains(
+                "diffreg_slo_burn_milli{tenant=\"acme\\\"corp\\\\eu\\n\",objective=\"latency_p95\",window=\"fast\"} 250"
+            ),
+            "{out}"
+        );
+        assert!(!out.contains("acme\"corp"), "raw quote must not survive: {out}");
+    }
+
+    #[test]
+    fn quantile_edge_empty_histogram() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert!(h.percentile(q).is_none(), "empty histogram has no q={q}");
+        }
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_edge_single_observation() {
+        let mut h = Histogram::new();
+        h.observe(42.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(42.0), "q={q} collapses to the only value");
+        }
+    }
+
+    #[test]
+    fn quantile_edge_all_observations_in_one_bucket() {
+        // 1.0 and 1.9 share bucket 64 ([2^0, 2^1)); every quantile must
+        // stay inside the observed [min, max] envelope.
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(1.0);
+        }
+        for _ in 0..10 {
+            h.observe(1.9);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.percentile(q).unwrap();
+            assert!((1.0..=1.9).contains(&v), "q={q} -> {v} clamped to [min, max]");
+        }
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(1.0), Some(1.9));
+    }
+
+    #[test]
+    fn registry_merge_is_deterministic_under_permuted_rank_order() {
+        // Four "ranks" with overlapping counters, disjoint gauges, and
+        // shared histograms; merging in any rank order must render
+        // byte-identical output (gauges are disjoint here because gauge
+        // merge is last-writer-wins by design).
+        let mk = |rank: u64| {
+            let mut r = MetricsRegistry::new();
+            r.inc_counter("diffreg_ops_total", rank + 1);
+            r.inc_counter(&format!("diffreg_rank_ops_total{{rank=\"{rank}\"}}"), 10 * rank);
+            r.set_gauge(&format!("diffreg_rank_up{{rank=\"{rank}\"}}"), 1.0);
+            for i in 0..=rank {
+                r.observe("diffreg_latency_seconds", 0.5 + i as f64);
+            }
+            r
+        };
+        let ranks: Vec<MetricsRegistry> = (0..4).map(mk).collect();
+        let orders: [[usize; 4]; 4] =
+            [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]];
+        let mut rendered: Vec<String> = Vec::new();
+        for order in orders {
+            let mut merged = MetricsRegistry::new();
+            for i in order {
+                merged.merge(&ranks[i]);
+            }
+            rendered.push(merged.render_prometheus());
+        }
+        assert_eq!(rendered[0], rendered[1]);
+        assert_eq!(rendered[0], rendered[2]);
+        assert_eq!(rendered[0], rendered[3]);
+        assert!(rendered[0].contains("diffreg_ops_total 10"), "{}", rendered[0]);
     }
 }
